@@ -1,0 +1,243 @@
+//! The discriminative loss of Eq. 6 and its gradient.
+//!
+//! With the log-linear intensities `λ_c = exp(θ_c⊤ f)` and
+//! `λ_d = exp(θ_d⊤ f)`, the conditional probabilities
+//! `p(c | t, H_t)` and `p(d | t, H_t)` are softmaxes over the linear scores,
+//! and the loss is the sum of the two categorical cross-entropies.  The
+//! parameter matrix stacks both heads: `Θ ∈ R^{M×(C+D)}`, columns `0..C` for
+//! the destination head, columns `C..C+D` for the duration head.
+//!
+//! The loss implemented here is the *mean* over samples (the paper uses the
+//! sum; the mean keeps gradient magnitudes independent of the cohort size, so
+//! the same learning rate and regularisation weight work from the tiny test
+//! cohorts up to the paper-scale one — the γ values quoted in EXPERIMENTS.md
+//! are on this normalised scale).
+//!
+//! Optional per-sample weights implement the "weighted data" imbalance
+//! strategy (`w_i = 1 / log(1 + #{(c,d)})`, Section 3.3).
+
+use pfp_math::softmax::{cross_entropy, softmax};
+use pfp_math::Matrix;
+use pfp_optim::SmoothObjective;
+
+use crate::dataset::Sample;
+
+/// The multinomial two-head cross-entropy objective over featurized samples.
+pub struct DmcpObjective<'a> {
+    samples: &'a [Sample],
+    weights: Option<&'a [f64]>,
+    num_features: usize,
+    num_cus: usize,
+    num_durations: usize,
+}
+
+impl<'a> DmcpObjective<'a> {
+    /// Build an objective.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty, a label is out of range, a feature vector
+    /// has the wrong dimension, or `weights` (when given) has the wrong length.
+    pub fn new(
+        samples: &'a [Sample],
+        weights: Option<&'a [f64]>,
+        num_features: usize,
+        num_cus: usize,
+        num_durations: usize,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot build an objective over zero samples");
+        assert!(num_cus >= 1 && num_durations >= 1, "need at least one class per head");
+        for s in samples {
+            assert_eq!(s.features.dim(), num_features, "feature dimension mismatch");
+            assert!(s.cu_label < num_cus, "destination label out of range");
+            assert!(s.duration_label < num_durations, "duration label out of range");
+        }
+        if let Some(w) = weights {
+            assert_eq!(w.len(), samples.len(), "weights length mismatch");
+            assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
+        }
+        Self { samples, weights, num_features, num_cus, num_durations }
+    }
+
+    /// Number of output columns `C + D`.
+    pub fn num_outputs(&self) -> usize {
+        self.num_cus + self.num_durations
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.weights.map(|w| w[i]).unwrap_or(1.0)
+    }
+
+    fn total_weight(&self) -> f64 {
+        match self.weights {
+            Some(w) => w.iter().sum::<f64>().max(1e-12),
+            None => self.samples.len() as f64,
+        }
+    }
+
+    /// Per-sample scores `Θ⊤ f`, split into `(destination, duration)` halves.
+    pub fn scores(&self, theta: &Matrix, sample: &Sample) -> (Vec<f64>, Vec<f64>) {
+        let mut all = vec![0.0; self.num_outputs()];
+        sample.features.accumulate_scores(theta, &mut all);
+        let dur = all.split_off(self.num_cus);
+        (all, dur)
+    }
+}
+
+impl SmoothObjective for DmcpObjective<'_> {
+    fn value(&self, theta: &Matrix) -> f64 {
+        let mut loss = 0.0;
+        for (i, s) in self.samples.iter().enumerate() {
+            let (cu_scores, dur_scores) = self.scores(theta, s);
+            let mut l = cross_entropy(&cu_scores, s.cu_label);
+            if self.num_durations > 1 {
+                l += cross_entropy(&dur_scores, s.duration_label);
+            }
+            loss += self.weight(i) * l;
+        }
+        loss / self.total_weight()
+    }
+
+    fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
+        grad.fill(0.0);
+        let norm = self.total_weight();
+        let mut contrib = vec![0.0; self.num_outputs()];
+        for (i, s) in self.samples.iter().enumerate() {
+            let (cu_scores, dur_scores) = self.scores(theta, s);
+            let p_cu = softmax(&cu_scores);
+            let w = self.weight(i) / norm;
+            for c in 0..self.num_cus {
+                contrib[c] = w * (p_cu[c] - if c == s.cu_label { 1.0 } else { 0.0 });
+            }
+            if self.num_durations > 1 {
+                let p_dur = softmax(&dur_scores);
+                for d in 0..self.num_durations {
+                    contrib[self.num_cus + d] =
+                        w * (p_dur[d] - if d == s.duration_label { 1.0 } else { 0.0 });
+                }
+            } else {
+                contrib[self.num_cus] = 0.0;
+            }
+            s.features.scatter_gradient(&contrib, grad);
+        }
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.num_features, self.num_outputs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_math::SparseVec;
+
+    fn toy_samples() -> Vec<Sample> {
+        // Feature 0 active => class 0; feature 1 active => class 1.
+        // Duration mirrors the destination.
+        vec![
+            Sample { patient_id: 0, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 0 },
+            Sample { patient_id: 1, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 0 },
+            Sample { patient_id: 2, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 1 },
+            Sample { patient_id: 3, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 1 },
+        ]
+    }
+
+    #[test]
+    fn zero_parameters_give_uniform_cross_entropy() {
+        let samples = toy_samples();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let theta = Matrix::zeros(3, 4);
+        let expected = 2.0 * (2.0_f64).ln(); // ln 2 per head
+        assert!((obj.value(&theta) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let samples = toy_samples();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.1 * (r as f64) - 0.05 * (c as f64));
+        let mut grad = Matrix::zeros(3, 4);
+        obj.gradient(&theta, &mut grad);
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..4 {
+                let mut plus = theta.clone();
+                plus.add_at(r, c, eps);
+                let mut minus = theta.clone();
+                minus.add_at(r, c, -eps);
+                let fd = (obj.value(&plus) - obj.value(&minus)) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(r, c)).abs() < 1e-5,
+                    "grad mismatch at ({r},{c}): fd={fd}, analytic={}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_signal_points_towards_separating_solution() {
+        let samples = toy_samples();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let theta = Matrix::zeros(3, 4);
+        let mut grad = Matrix::zeros(3, 4);
+        obj.gradient(&theta, &mut grad);
+        // Moving against the gradient should increase θ[0][0] (feature 0 → class 0).
+        assert!(grad.get(0, 0) < 0.0);
+        assert!(grad.get(1, 0) > 0.0);
+        // Feature 2 never appears: its gradient row is exactly zero.
+        assert_eq!(grad.row(2), &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn weights_rescale_sample_influence() {
+        let samples = toy_samples();
+        // Give all weight to the class-0 samples.
+        let weights = vec![1.0, 1.0, 0.0, 0.0];
+        let obj = DmcpObjective::new(&samples, Some(&weights), 3, 2, 2);
+        let theta = Matrix::zeros(3, 4);
+        let mut grad = Matrix::zeros(3, 4);
+        obj.gradient(&theta, &mut grad);
+        // Feature 1 only appears in zero-weight samples: no gradient.
+        assert_eq!(grad.row(1), &[0.0, 0.0, 0.0, 0.0]);
+        assert!(grad.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn single_class_duration_head_contributes_nothing() {
+        let samples: Vec<Sample> = toy_samples()
+            .into_iter()
+            .map(|mut s| {
+                s.duration_label = 0;
+                s
+            })
+            .collect();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 1);
+        let theta = Matrix::zeros(3, 3);
+        assert!((obj.value(&theta) - (2.0_f64).ln()).abs() < 1e-12);
+        let mut grad = Matrix::zeros(3, 3);
+        obj.gradient(&theta, &mut grad);
+        for r in 0..3 {
+            assert_eq!(grad.get(r, 2), 0.0, "degenerate head must have zero gradient");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn rejects_empty_sample_set() {
+        let samples: Vec<Sample> = vec![];
+        let _ = DmcpObjective::new(&samples, None, 3, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_label() {
+        let samples = vec![Sample {
+            patient_id: 0,
+            features: SparseVec::binary(2, vec![0]),
+            cu_label: 5,
+            duration_label: 0,
+        }];
+        let _ = DmcpObjective::new(&samples, None, 2, 2, 2);
+    }
+}

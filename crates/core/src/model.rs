@@ -1,0 +1,218 @@
+//! The trained DMCP model: conditional probabilities, prediction, and
+//! feature-selection introspection.
+
+use pfp_math::softmax::{argmax, softmax};
+use pfp_math::{Matrix, SparseVec};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::features::{FeatureMapKind, HistoryFeaturizer, HistoryStay};
+use crate::train::{train, TrainConfig};
+
+/// A trained mutually-correcting-process model (or one of its MPP/SCP/LR
+/// feature-map ablations — the model structure is identical).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DmcpModel {
+    /// Smooth parameter matrix Θ (`M × (C + D)`).
+    pub theta: Matrix,
+    /// Group-sparse auxiliary matrix X from ADMM (exact zero rows mark
+    /// unselected features).  Equal to `theta` when trained without ADMM.
+    pub selection: Matrix,
+    /// The feature map the model was trained with.
+    pub kind: FeatureMapKind,
+    /// Profile feature dimension.
+    pub profile_dim: usize,
+    /// Service feature dimension.
+    pub service_dim: usize,
+    /// Number of destination classes `C`.
+    pub num_cus: usize,
+    /// Number of duration classes `D`.
+    pub num_durations: usize,
+}
+
+impl DmcpModel {
+    /// Train a model on a raw dataset (convenience wrapper around
+    /// [`crate::train::train`]).
+    pub fn train(dataset: &Dataset, config: &TrainConfig) -> DmcpModel {
+        train(dataset, config)
+    }
+
+    /// Total feature dimension `M`.
+    pub fn num_features(&self) -> usize {
+        self.profile_dim + self.service_dim
+    }
+
+    /// The featurizer matching this model's feature map.
+    pub fn featurizer(&self) -> HistoryFeaturizer {
+        HistoryFeaturizer::new(self.kind, self.profile_dim, self.service_dim)
+    }
+
+    /// Raw linear scores `Θ⊤ f`, split into `(destination, duration)` halves.
+    pub fn scores(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(features.dim(), self.num_features(), "feature dimension mismatch");
+        let mut all = vec![0.0; self.num_cus + self.num_durations];
+        features.accumulate_scores(&self.theta, &mut all);
+        let dur = all.split_off(self.num_cus);
+        (all, dur)
+    }
+
+    /// Conditional intensities `λ_c = exp(θ_c⊤ f)` and `λ_d = exp(θ_d⊤ f)`.
+    pub fn intensities(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
+        let (cu, dur) = self.scores(features);
+        (cu.iter().map(|x| x.exp()).collect(), dur.iter().map(|x| x.exp()).collect())
+    }
+
+    /// Conditional class probabilities `p(c | t, H_t)` and `p(d | t, H_t)`
+    /// (normalised intensities, Eq. 5).
+    pub fn probabilities(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
+        let (cu, dur) = self.scores(features);
+        (softmax(&cu), softmax(&dur))
+    }
+
+    /// MAP prediction `(ĉ, d̂)` for an already-featurized sample.
+    pub fn predict(&self, features: &SparseVec) -> (usize, usize) {
+        let (cu, dur) = self.scores(features);
+        (argmax(&cu), argmax(&dur))
+    }
+
+    /// Featurize a raw history and predict `(ĉ, d̂)`.
+    pub fn predict_raw(
+        &self,
+        profile: &SparseVec,
+        history: &[HistoryStay],
+        t_eval: f64,
+        t_prev: f64,
+    ) -> (usize, usize) {
+        let f = self.featurizer().featurize(profile, history, t_eval, t_prev);
+        self.predict(&f)
+    }
+
+    /// Featurize a raw history and return `(p(c|·), p(d|·))`.
+    pub fn probabilities_raw(
+        &self,
+        profile: &SparseVec,
+        history: &[HistoryStay],
+        t_eval: f64,
+        t_prev: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let f = self.featurizer().featurize(profile, history, t_eval, t_prev);
+        self.probabilities(&f)
+    }
+
+    /// Indices of the feature dimensions the group lasso kept (nonzero rows of
+    /// the selection matrix).
+    pub fn selected_features(&self) -> Vec<usize> {
+        (0..self.selection.rows())
+            .filter(|&r| self.selection.row(r).iter().any(|&x| x != 0.0))
+            .collect()
+    }
+
+    /// Number of selected feature dimensions.
+    pub fn num_selected(&self) -> usize {
+        self.selected_features().len()
+    }
+
+    /// Fraction of feature dimensions that were suppressed to zero.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.num_selected() as f64 / self.num_features().max(1) as f64
+    }
+
+    /// The `ℓ2` magnitude of each feature row of Θ (used by the Figure 7
+    /// feature-selection analysis).
+    pub fn feature_magnitudes(&self) -> Vec<f64> {
+        (0..self.theta.rows()).map(|r| self.theta.row_l2_norm(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> DmcpModel {
+        // 2 profile dims + 2 service dims, 2 CUs, 2 duration classes.
+        // θ hand-crafted so feature 0 votes for CU 0 / duration 0 and
+        // feature 2 (first service dim) votes for CU 1 / duration 1.
+        let mut theta = Matrix::zeros(4, 4);
+        theta.set(0, 0, 2.0);
+        theta.set(0, 2, 2.0);
+        theta.set(2, 1, 2.0);
+        theta.set(2, 3, 2.0);
+        let mut selection = theta.clone();
+        selection.row_mut(3).iter_mut().for_each(|x| *x = 0.0);
+        DmcpModel {
+            theta,
+            selection,
+            kind: FeatureMapKind::ModulatedPoisson,
+            profile_dim: 2,
+            service_dim: 2,
+            num_cus: 2,
+            num_durations: 2,
+        }
+    }
+
+    #[test]
+    fn predict_follows_the_strongest_score() {
+        let m = tiny_model();
+        let f0 = SparseVec::binary(4, vec![0]);
+        assert_eq!(m.predict(&f0), (0, 0));
+        let f2 = SparseVec::binary(4, vec![2]);
+        assert_eq!(m.predict(&f2), (1, 1));
+    }
+
+    #[test]
+    fn probabilities_are_valid_distributions() {
+        let m = tiny_model();
+        let (pc, pd) = m.probabilities(&SparseVec::binary(4, vec![0, 2]));
+        assert_eq!(pc.len(), 2);
+        assert_eq!(pd.len(), 2);
+        assert!((pc.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pd.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensities_are_exponential_of_scores() {
+        let m = tiny_model();
+        let f = SparseVec::binary(4, vec![0]);
+        let (scores, _) = m.scores(&f);
+        let (lam, _) = m.intensities(&f);
+        for (s, l) in scores.iter().zip(lam.iter()) {
+            assert!((s.exp() - l).abs() < 1e-12);
+            assert!(*l > 0.0);
+        }
+    }
+
+    #[test]
+    fn predict_raw_goes_through_the_featurizer() {
+        let m = tiny_model();
+        let profile = SparseVec::binary(2, vec![0]);
+        let history = vec![HistoryStay { entry_time: 0.0, services: SparseVec::binary(2, vec![0]) }];
+        let (c, d) = m.predict_raw(&profile, &history, 1.0, 0.0);
+        assert!(c < 2 && d < 2);
+    }
+
+    #[test]
+    fn selection_introspection_counts_zero_rows() {
+        let m = tiny_model();
+        let selected = m.selected_features();
+        assert!(selected.contains(&0) && selected.contains(&2));
+        assert!(!selected.contains(&3));
+        assert_eq!(m.num_selected(), selected.len());
+        assert!((m.sparsity() - (1.0 - selected.len() as f64 / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_magnitudes_have_one_entry_per_feature() {
+        let m = tiny_model();
+        let mags = m.feature_magnitudes();
+        assert_eq!(mags.len(), 4);
+        assert!(mags[0] > 0.0);
+        assert_eq!(mags[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn scores_reject_wrong_dimension() {
+        let m = tiny_model();
+        let _ = m.scores(&SparseVec::binary(3, vec![0]));
+    }
+}

@@ -1,0 +1,32 @@
+//! The logistic-regression (LR) baseline: multinomial logistic regression on
+//! the *current* features `[f_0, f_{i}]` only, ignoring the rest of the
+//! history.  Implemented as the DMCP learner with the
+//! [`FeatureMapKind::CurrentOnly`] feature map and the group lasso disabled.
+
+use pfp_core::{Dataset, TrainConfig};
+
+use crate::predictor::{DmcpPredictor, MethodId};
+
+/// Train the LR baseline.
+pub type LogisticPredictor = DmcpPredictor;
+
+/// Convenience constructor for the LR baseline.
+pub fn train_logistic(dataset: &Dataset, base: &TrainConfig) -> LogisticPredictor {
+    DmcpPredictor::train(dataset, base, MethodId::Lr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::FlowPredictor;
+    use pfp_core::features::FeatureMapKind;
+    use pfp_ehr::{generate_cohort, CohortConfig};
+
+    #[test]
+    fn logistic_baseline_ignores_history() {
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(101)));
+        let lr = train_logistic(&ds, &TrainConfig::fast());
+        assert_eq!(lr.method(), MethodId::Lr);
+        assert_eq!(lr.model().kind, FeatureMapKind::CurrentOnly);
+    }
+}

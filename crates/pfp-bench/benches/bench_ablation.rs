@@ -1,0 +1,63 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * group lasso on/off (γ sweep) — cost of the X/Y ADMM steps,
+//! * discriminative training versus the generative Hawkes MLE,
+//! * imbalance pre-processing cost (synthetic oversampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfp_core::imbalance::ImbalanceStrategy;
+use pfp_core::{train, Dataset, TrainConfig};
+use pfp_ehr::{generate_cohort, CohortConfig};
+use pfp_point_process::hawkes::{HawkesFitConfig, MultivariateHawkes};
+
+fn ablations(c: &mut Criterion) {
+    let cohort = generate_cohort(&CohortConfig::tiny(19));
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut quick = TrainConfig::fast();
+    quick.max_outer_iters = 2;
+    quick.max_inner_iters = 10;
+
+    let mut group = c.benchmark_group("ablation_group_lasso");
+    group.sample_size(10);
+    for gamma in [0.0, 1e-3, 1e-1] {
+        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
+            let cfg = quick.with_gamma(gamma);
+            b.iter(|| std::hint::black_box(train(&dataset, &cfg)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_loss");
+    group.sample_size(10);
+    group.bench_function("discriminative_dmcp", |b| {
+        b.iter(|| std::hint::black_box(train(&dataset, &quick)));
+    });
+    let sequences: Vec<_> = dataset
+        .patients
+        .iter()
+        .filter(|p| p.num_transitions() > 0)
+        .map(|p| p.cu_event_sequence())
+        .collect();
+    group.bench_function("generative_hawkes_mle", |b| {
+        let cfg = HawkesFitConfig { max_iters: 10, ..Default::default() };
+        b.iter(|| std::hint::black_box(MultivariateHawkes::fit(&sequences, 8, &cfg)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_imbalance");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("none", ImbalanceStrategy::None),
+        ("weighted", ImbalanceStrategy::Weighted),
+        ("synthetic", ImbalanceStrategy::synthetic()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strategy| {
+            let cfg = quick.with_imbalance(*strategy);
+            b.iter(|| std::hint::black_box(train(&dataset, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

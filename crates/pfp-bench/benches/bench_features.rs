@@ -1,0 +1,28 @@
+//! Micro-benchmarks of the history featurizer: how expensive is building the
+//! combined feature map `f_t` under each kernel (LR / MPP / SCP / DMCP)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfp_core::features::FeatureMapKind;
+use pfp_core::Dataset;
+use pfp_ehr::{generate_cohort, CohortConfig};
+
+fn featurization(c: &mut Criterion) {
+    let cohort = generate_cohort(&CohortConfig::tiny(7));
+    let dataset = Dataset::from_cohort(&cohort);
+    let kinds = [
+        ("lr", FeatureMapKind::CurrentOnly),
+        ("mpp", FeatureMapKind::ModulatedPoisson),
+        ("scp", FeatureMapKind::SelfCorrecting),
+        ("dmcp", FeatureMapKind::MutuallyCorrecting { sigma: dataset.mean_dwell_days }),
+    ];
+    let mut group = c.benchmark_group("featurize_dataset");
+    for (name, kind) in kinds {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| std::hint::black_box(dataset.featurize(kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, featurization);
+criterion_main!(benches);

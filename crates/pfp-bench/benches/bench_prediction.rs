@@ -1,0 +1,37 @@
+//! Benchmarks of prediction throughput: how many transition predictions per
+//! second each trained method can serve (relevant for the paper's motivating
+//! use case of live hospital-resource planning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfp_baselines::{DmcpPredictor, FlowPredictor, MarkovPredictor, MethodId};
+use pfp_core::{Dataset, TrainConfig};
+use pfp_ehr::{generate_cohort, CohortConfig};
+
+fn prediction(c: &mut Criterion) {
+    let cohort = generate_cohort(&CohortConfig::tiny(13));
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut quick = TrainConfig::fast();
+    quick.max_outer_iters = 2;
+    let dmcp = DmcpPredictor::train(&dataset, &quick, MethodId::Dmcp);
+    let mc = MarkovPredictor::train(&dataset);
+
+    let mut group = c.benchmark_group("predict_all_samples");
+    group.bench_function("dmcp", |b| {
+        b.iter(|| {
+            for s in &dataset.samples {
+                std::hint::black_box(dmcp.predict_sample(s));
+            }
+        });
+    });
+    group.bench_function("markov_chain", |b| {
+        b.iter(|| {
+            for s in &dataset.samples {
+                std::hint::black_box(mc.predict_sample(s));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, prediction);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks of the point-process simulator and of the census rollout that
+//! backs the relative-simulation-error metric (Table 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfp_baselines::MarkovPredictor;
+use pfp_core::Dataset;
+use pfp_ehr::{generate_cohort, CohortConfig};
+use pfp_eval::census::simulate_census;
+use pfp_math::rng::seeded_rng;
+use pfp_math::Matrix;
+use pfp_point_process::simulate::{simulate, ThinningConfig};
+use pfp_point_process::{KernelKind, ParametricIntensity};
+
+fn simulation(c: &mut Criterion) {
+    let intensity = ParametricIntensity::new(
+        KernelKind::MutuallyCorrecting { sigma: 2.0 },
+        vec![0.2; 4],
+        Matrix::from_fn(4, 4, |i, j| if i == j { 0.3 } else { -0.1 }),
+    );
+    c.bench_function("ogata_thinning_horizon_50", |b| {
+        let mut rng = seeded_rng(3);
+        b.iter(|| std::hint::black_box(simulate(&intensity, 50.0, &mut rng, &ThinningConfig::default())));
+    });
+
+    let cohort = generate_cohort(&CohortConfig::tiny(17));
+    let dataset = Dataset::from_cohort(&cohort);
+    let mc = MarkovPredictor::train(&dataset);
+    let mut group = c.benchmark_group("census");
+    group.sample_size(20);
+    group.bench_function("census_rollout_tiny_cohort", |b| {
+        b.iter(|| std::hint::black_box(simulate_census(&mc, &dataset)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks of model training: one ADMM outer iteration budget on a tiny
+//! cohort for DMCP, and the count-based baselines for contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfp_baselines::{CtmcPredictor, MarkovPredictor};
+use pfp_core::{train, Dataset, TrainConfig};
+use pfp_ehr::{generate_cohort, CohortConfig};
+
+fn training(c: &mut Criterion) {
+    let cohort = generate_cohort(&CohortConfig::tiny(11));
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut quick = TrainConfig::fast();
+    quick.max_outer_iters = 2;
+    quick.max_inner_iters = 10;
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("dmcp_admm_2_outer_iters", |b| {
+        b.iter(|| std::hint::black_box(train(&dataset, &quick)));
+    });
+    group.bench_function("markov_chain", |b| {
+        b.iter(|| std::hint::black_box(MarkovPredictor::train(&dataset)));
+    });
+    group.bench_function("ctmc", |b| {
+        b.iter(|| std::hint::black_box(CtmcPredictor::train(&dataset)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, training);
+criterion_main!(benches);

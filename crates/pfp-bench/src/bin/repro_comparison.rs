@@ -1,0 +1,82 @@
+//! Run the full method comparison once and print Tables 4, 5 and 6 (which are
+//! also the data behind Figures 5 and 6).
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_comparison --release -- --scale 0.05
+//! ```
+
+use pfp_baselines::MethodId;
+use pfp_bench::table::fmt3;
+use pfp_bench::{render_table, Args};
+use pfp_core::Dataset;
+use pfp_ehr::departments::{duration_label, CareUnit, NUM_CARE_UNITS, NUM_DURATION_CLASSES};
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::{method_comparison, ComparisonConfig, MethodResult};
+
+fn print_table4(results: &[MethodResult]) {
+    println!("\nTable 4 — destination-CU prediction accuracy (AC_c per department, AC_C overall)\n");
+    let mut header = vec!["dept".to_string()];
+    header.extend(results.iter().map(|r| r.method.label().to_string()));
+    let mut rows = Vec::new();
+    for cu in 0..NUM_CARE_UNITS {
+        let mut row = vec![CareUnit::from_index(cu).abbrev().to_string()];
+        row.extend(results.iter().map(|r| fmt3(r.accuracy.per_cu[cu])));
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL (AC_C)".to_string()];
+    overall.extend(results.iter().map(|r| fmt3(r.accuracy.overall_cu)));
+    rows.push(overall);
+    print!("{}", render_table(&header, &rows));
+}
+
+fn print_table5(results: &[MethodResult]) {
+    println!("\nTable 5 — duration-day prediction accuracy (AC_d per class, AC_D overall)\n");
+    let mut header = vec!["duration".to_string()];
+    header.extend(results.iter().map(|r| r.method.label().to_string()));
+    let mut rows = Vec::new();
+    for d in 0..NUM_DURATION_CLASSES {
+        let mut row = vec![duration_label(d)];
+        row.extend(results.iter().map(|r| fmt3(r.accuracy.per_duration[d])));
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL (AC_D)".to_string()];
+    overall.extend(results.iter().map(|r| fmt3(r.accuracy.overall_duration)));
+    rows.push(overall);
+    print!("{}", render_table(&header, &rows));
+}
+
+fn print_table6(results: &[MethodResult]) {
+    println!("\nTable 6 — relative census-simulation error (Err_c per department, Err_C overall)\n");
+    let mut header = vec!["dept".to_string()];
+    header.extend(results.iter().map(|r| r.method.label().to_string()));
+    let mut rows = Vec::new();
+    for cu in 0..NUM_CARE_UNITS {
+        let mut row = vec![CareUnit::from_index(cu).abbrev().to_string()];
+        row.extend(results.iter().map(|r| fmt3(r.census.per_cu_error[cu])));
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL (Err_C)".to_string()];
+    overall.extend(results.iter().map(|r| fmt3(r.census.overall_error)));
+    rows.push(overall);
+    print!("{}", render_table(&header, &rows));
+}
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let dataset = Dataset::from_cohort(&cohort);
+    println!(
+        "Method comparison on a synthetic cohort of {} patients ({} transition samples), scale {}",
+        cohort.patients.len(),
+        dataset.len(),
+        args.scale
+    );
+
+    let mut config = ComparisonConfig::standard(args.seed);
+    config.train = args.train_config();
+    let results = method_comparison(&dataset, &MethodId::ALL, &config);
+
+    print_table4(&results);
+    print_table5(&results);
+    print_table6(&results);
+}

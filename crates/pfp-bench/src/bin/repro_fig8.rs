@@ -1,0 +1,41 @@
+//! Reproduce Figure 8: robustness of the overall accuracies to the group-lasso
+//! weight γ and the ADMM penalty ρ (log-spaced sweeps around the defaults).
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_fig8 --release -- --scale 0.02 --fast
+//! ```
+
+use pfp_bench::table::fmt3;
+use pfp_bench::{render_table, Args};
+use pfp_core::Dataset;
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::{fig8_report, ComparisonConfig};
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut config = ComparisonConfig::standard(args.seed);
+    config.train = args.train_config();
+
+    let multipliers = [0.01, 0.1, 1.0, 10.0, 100.0];
+    let report = fig8_report(&dataset, &config, &multipliers);
+
+    println!("Figure 8(a) — accuracy vs γ multiplier (log grid around the default γ)\n");
+    let header = vec!["gamma ×".to_string(), "AC_C".to_string(), "AC_D".to_string()];
+    let rows: Vec<Vec<String>> = report
+        .gamma_sweep
+        .iter()
+        .map(|&(m, a, d)| vec![format!("{m}"), fmt3(a), fmt3(d)])
+        .collect();
+    print!("{}", render_table(&header, &rows));
+
+    println!("\nFigure 8(b) — accuracy vs ρ\n");
+    let rows: Vec<Vec<String>> = report
+        .rho_sweep
+        .iter()
+        .map(|&(m, a, d)| vec![format!("{m}"), fmt3(a), fmt3(d)])
+        .collect();
+    let header = vec!["rho".to_string(), "AC_C".to_string(), "AC_D".to_string()];
+    print!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,48 @@
+//! Reproduce Table 1: per-department patient counts, transition counts and
+//! mean durations, next to the paper's published MIMIC-II values.
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_table1 --release -- --scale 0.1
+//! ```
+
+use pfp_bench::{render_table, Args};
+use pfp_bench::table::fmt2;
+use pfp_ehr::departments::CareUnit;
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::table1_report;
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let report = table1_report(&cohort);
+
+    println!("Table 1 — cohort statistics (synthetic cohort, {} patients, scale {})", report.num_patients, args.scale);
+    println!("Paper columns are the published MIMIC-II extract (30,685 patients).\n");
+
+    let header = vec![
+        "dept".to_string(),
+        "#patients".to_string(),
+        "#trans".to_string(),
+        "mean days".to_string(),
+        "paper #patients".to_string(),
+        "paper #trans".to_string(),
+        "paper days".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = report
+        .measured
+        .iter()
+        .zip(report.paper.iter())
+        .map(|(m, p)| {
+            vec![
+                CareUnit::from_index(m.cu).abbrev().to_string(),
+                m.patients.to_string(),
+                m.transitions.to_string(),
+                fmt2(m.mean_duration_days),
+                p.0.to_string(),
+                p.1.to_string(),
+                fmt2(p.2),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,50 @@
+//! Reproduce Table 2: the proportion of nonzero features per domain for every
+//! department, next to the paper's published values.
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_table2 --release -- --scale 0.1
+//! ```
+
+use pfp_bench::table::fmt3;
+use pfp_bench::{render_table, Args};
+use pfp_ehr::departments::CareUnit;
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::table2_report;
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let report = table2_report(&cohort);
+
+    println!("Table 2 — feature-domain proportions per department (measured | paper)\n");
+    let header = vec![
+        "dept".to_string(),
+        "profile".to_string(),
+        "treatment".to_string(),
+        "nursing".to_string(),
+        "medication".to_string(),
+        "paper prof".to_string(),
+        "paper treat".to_string(),
+        "paper nurs".to_string(),
+        "paper med".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = report
+        .measured
+        .iter()
+        .zip(report.paper.iter())
+        .map(|(m, p)| {
+            vec![
+                CareUnit::from_index(m.cu).abbrev().to_string(),
+                fmt3(m.proportions[0]),
+                fmt3(m.proportions[1]),
+                fmt3(m.proportions[2]),
+                fmt3(m.proportions[3]),
+                fmt3(p[0]),
+                fmt3(p[1]),
+                fmt3(p[2]),
+                fmt3(p[3]),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}

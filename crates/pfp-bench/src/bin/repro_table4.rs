@@ -1,0 +1,37 @@
+//! Reproduce Table 4 / Figure 5(a): destination-CU prediction accuracy for
+//! every method.
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_table4 --release -- --scale 0.05
+//! ```
+
+use pfp_baselines::MethodId;
+use pfp_bench::table::fmt3;
+use pfp_bench::{render_table, Args};
+use pfp_core::Dataset;
+use pfp_ehr::departments::{CareUnit, NUM_CARE_UNITS};
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::{method_comparison, ComparisonConfig};
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut config = ComparisonConfig::standard(args.seed);
+    config.train = args.train_config();
+    let results = method_comparison(&dataset, &MethodId::ALL, &config);
+
+    println!("Table 4 — destination-CU prediction accuracy\n");
+    let mut header = vec!["dept".to_string()];
+    header.extend(results.iter().map(|r| r.method.label().to_string()));
+    let mut rows = Vec::new();
+    for cu in 0..NUM_CARE_UNITS {
+        let mut row = vec![CareUnit::from_index(cu).abbrev().to_string()];
+        row.extend(results.iter().map(|r| fmt3(r.accuracy.per_cu[cu])));
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL (AC_C)".to_string()];
+    overall.extend(results.iter().map(|r| fmt3(r.accuracy.overall_cu)));
+    rows.push(overall);
+    print!("{}", render_table(&header, &rows));
+}

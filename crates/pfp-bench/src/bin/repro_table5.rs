@@ -1,0 +1,37 @@
+//! Reproduce Table 5 / Figure 5(b): duration-day prediction accuracy for
+//! every method.
+//!
+//! ```text
+//! cargo run -p pfp-bench --bin repro_table5 --release -- --scale 0.05
+//! ```
+
+use pfp_baselines::MethodId;
+use pfp_bench::table::fmt3;
+use pfp_bench::{render_table, Args};
+use pfp_core::Dataset;
+use pfp_ehr::departments::{duration_label, NUM_DURATION_CLASSES};
+use pfp_ehr::generate_cohort;
+use pfp_eval::experiments::{method_comparison, ComparisonConfig};
+
+fn main() {
+    let args = Args::parse();
+    let cohort = generate_cohort(&args.cohort_config());
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut config = ComparisonConfig::standard(args.seed);
+    config.train = args.train_config();
+    let results = method_comparison(&dataset, &MethodId::ALL, &config);
+
+    println!("Table 5 — duration-day prediction accuracy\n");
+    let mut header = vec!["duration".to_string()];
+    header.extend(results.iter().map(|r| r.method.label().to_string()));
+    let mut rows = Vec::new();
+    for d in 0..NUM_DURATION_CLASSES {
+        let mut row = vec![duration_label(d)];
+        row.extend(results.iter().map(|r| fmt3(r.accuracy.per_duration[d])));
+        rows.push(row);
+    }
+    let mut overall = vec!["ALL (AC_D)".to_string()];
+    overall.extend(results.iter().map(|r| fmt3(r.accuracy.overall_duration)));
+    rows.push(overall);
+    print!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,13 @@
+//! # pfp-bench
+//!
+//! Criterion micro-benchmarks (`benches/`) and the table/figure reproduction
+//! binaries (`src/bin/repro_*.rs`).
+//!
+//! This library crate only hosts the tiny bits shared by those binaries:
+//! a dependency-free command-line flag parser and plain-text table rendering.
+
+pub mod cli;
+pub mod table;
+
+pub use cli::Args;
+pub use table::render_table;

@@ -1,0 +1,77 @@
+//! Plain-text table rendering for the reproduction binaries.
+
+/// Render a table with a header row and aligned columns.
+///
+/// Every row (including the header) must have the same number of cells.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    assert!(!header.is_empty(), "header must have at least one column");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header width");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with three decimals (the precision of the paper's tables).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with two decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_all_cells() {
+        let header = vec!["name".to_string(), "value".to_string()];
+        let rows = vec![
+            vec!["alpha".to_string(), "1.000".to_string()],
+            vec!["b".to_string(), "22.500".to_string()],
+        ];
+        let t = render_table(&header, &rows);
+        assert!(t.contains("alpha"));
+        assert!(t.contains("22.500"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match")]
+    fn mismatched_rows_are_rejected() {
+        let _ = render_table(&["a".to_string()], &[vec!["x".to_string(), "y".to_string()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt2(3.456), "3.46");
+    }
+}

@@ -1,0 +1,612 @@
+//! Synthetic cohort generation.
+//!
+//! The generator replaces the access-controlled MIMIC-II extract with a
+//! statistically faithful synthetic cohort (see `DESIGN.md` for the full
+//! substitution argument).  Each patient is drawn as follows:
+//!
+//! 1. A clinical **archetype** (neonatal, cardiac-surgical, medical, trauma,
+//!    obstetric, elective-recovery, general) is sampled with probabilities
+//!    tuned so the per-department patient counts approximate Table 1's heavy
+//!    imbalance (GW dominant, ACU/TSICU rare).
+//! 2. A stay sequence is rolled out with a **mutually-correcting** transition
+//!    rule: each archetype has an affinity vector over departments, and the
+//!    probability of re-entering a recently visited department is suppressed
+//!    while downstream departments (e.g. CSRU after CCU) are boosted — the
+//!    discrete-choice analogue of the paper's mutually-correcting intensity.
+//! 3. Dwell times are sampled per department around the Table 1 means,
+//!    scaled by a patient-level severity factor, which also (weakly) couples
+//!    durations to destinations, reproducing the ≈0.2 correlation of Fig. 2.
+//! 4. Stay features are planted with department / next-destination /
+//!    duration signatures plus noise, with per-domain budgets following the
+//!    Table 2 proportions, so the features carry recoverable signal for the
+//!    learners while remaining sparse and high-dimensional.
+
+use pfp_math::rng::{bernoulli, derive_seed, sample_categorical, seeded_rng};
+use pfp_math::SparseVec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::departments::{CareUnit, NUM_CARE_UNITS};
+use crate::features::{FeatureDictionary, FeatureDomain};
+use crate::patient::{PatientRecord, Stay};
+
+/// Clinical archetypes used to induce the department imbalance of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Premature/newborn intensive care: NICU → GW, long NICU stays.
+    Neonatal,
+    /// Coronary disease with surgery: CCU → (ACU) → CSRU → GW.
+    CardiacSurgical,
+    /// Elective cardiac surgery recovery: CSRU → GW.
+    ElectiveRecovery,
+    /// Obstetric / fetal intensive care: (ACU) → FICU → GW.
+    Obstetric,
+    /// General medical intensive care: MICU → GW.
+    Medical,
+    /// Trauma surgery: TSICU → (MICU) → GW.
+    Trauma,
+    /// Ward-only admission.
+    General,
+}
+
+impl Archetype {
+    /// All archetypes with their sampling probabilities (sum to 1).
+    pub const MIXTURE: [(Archetype, f64); 7] = [
+        (Archetype::Neonatal, 0.24),
+        (Archetype::CardiacSurgical, 0.20),
+        (Archetype::ElectiveRecovery, 0.10),
+        (Archetype::Obstetric, 0.11),
+        (Archetype::Medical, 0.22),
+        (Archetype::Trauma, 0.05),
+        (Archetype::General, 0.08),
+    ];
+
+    /// Dense index used for signature feature keys.
+    pub fn index(self) -> usize {
+        match self {
+            Archetype::Neonatal => 0,
+            Archetype::CardiacSurgical => 1,
+            Archetype::ElectiveRecovery => 2,
+            Archetype::Obstetric => 3,
+            Archetype::Medical => 4,
+            Archetype::Trauma => 5,
+            Archetype::General => 6,
+        }
+    }
+
+    /// Department affinity (unnormalised propensity of *entering* each CU).
+    ///
+    /// Order: CCU, ACU, FICU, CSRU, MICU, TSICU, NICU, GW.
+    fn affinity(self) -> [f64; NUM_CARE_UNITS] {
+        match self {
+            Archetype::Neonatal => [0.00, 0.00, 0.02, 0.00, 0.01, 0.00, 1.00, 0.60],
+            Archetype::CardiacSurgical => [1.00, 0.08, 0.00, 0.85, 0.05, 0.00, 0.00, 0.80],
+            Archetype::ElectiveRecovery => [0.05, 0.05, 0.00, 1.00, 0.02, 0.00, 0.00, 0.90],
+            Archetype::Obstetric => [0.00, 0.10, 1.00, 0.00, 0.05, 0.00, 0.15, 0.80],
+            Archetype::Medical => [0.04, 0.00, 0.00, 0.00, 1.00, 0.02, 0.00, 0.85],
+            Archetype::Trauma => [0.00, 0.03, 0.00, 0.02, 0.20, 1.00, 0.00, 0.75],
+            Archetype::General => [0.01, 0.00, 0.00, 0.00, 0.02, 0.00, 0.00, 1.00],
+        }
+    }
+
+    /// The department where the trajectory usually starts.
+    fn entry_unit(self, rng: &mut StdRng) -> usize {
+        let preferred = match self {
+            Archetype::Neonatal => CareUnit::Nicu,
+            Archetype::CardiacSurgical => CareUnit::Ccu,
+            Archetype::ElectiveRecovery => CareUnit::Csru,
+            Archetype::Obstetric => CareUnit::Ficu,
+            Archetype::Medical => CareUnit::Micu,
+            Archetype::Trauma => CareUnit::Tsicu,
+            Archetype::General => CareUnit::Gw,
+        };
+        // A small fraction of admissions start on the ward before escalating.
+        if !matches!(self, Archetype::General) && bernoulli(rng, 0.08) {
+            CareUnit::Gw.index()
+        } else {
+            preferred.index()
+        }
+    }
+
+    /// Downstream boost: staying in `from` raises the propensity of these
+    /// follow-up departments (the "mutually-correcting" cross-excitation).
+    fn downstream_boost(self, from: usize) -> [f64; NUM_CARE_UNITS] {
+        let mut boost = [0.0; NUM_CARE_UNITS];
+        let gw = CareUnit::Gw.index();
+        boost[gw] += 1.2; // everything eventually flows to the ward
+        match self {
+            Archetype::CardiacSurgical => {
+                if from == CareUnit::Ccu.index() {
+                    boost[CareUnit::Acu.index()] += 0.25;
+                    boost[CareUnit::Csru.index()] += 2.2;
+                }
+                if from == CareUnit::Acu.index() {
+                    boost[CareUnit::Csru.index()] += 4.0;
+                }
+                if from == CareUnit::Csru.index() {
+                    boost[gw] += 2.0;
+                }
+            }
+            Archetype::Trauma => {
+                if from == CareUnit::Tsicu.index() {
+                    boost[CareUnit::Micu.index()] += 0.6;
+                }
+            }
+            Archetype::Obstetric => {
+                if from == CareUnit::Acu.index() {
+                    boost[CareUnit::Ficu.index()] += 3.0;
+                }
+                if from == CareUnit::Ficu.index() {
+                    boost[CareUnit::Nicu.index()] += 0.25;
+                }
+            }
+            _ => {}
+        }
+        boost
+    }
+
+    /// Mean number of transitions (stays − 1) for this archetype.
+    fn mean_transitions(self) -> f64 {
+        match self {
+            Archetype::Neonatal => 1.1,
+            Archetype::CardiacSurgical => 2.4,
+            Archetype::ElectiveRecovery => 1.4,
+            Archetype::Obstetric => 1.6,
+            Archetype::Medical => 1.3,
+            Archetype::Trauma => 1.6,
+            Archetype::General => 0.6,
+        }
+    }
+}
+
+/// Per-department mean dwell times used by the generator (days).
+///
+/// These are the Table 1 means; actual sampled durations are modulated by a
+/// per-patient severity factor and truncated to at least half a day.
+const MEAN_DWELL_DAYS: [f64; NUM_CARE_UNITS] = [3.32, 2.38, 4.46, 3.96, 3.83, 3.21, 9.01, 4.15];
+
+/// Configuration of the synthetic cohort.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CohortConfig {
+    /// Number of patients to generate.
+    pub num_patients: usize,
+    /// Feature dictionary sizes.
+    pub features: FeatureDictionary,
+    /// RNG seed (every patient derives its own stream from this).
+    pub seed: u64,
+    /// Number of profile features activated per patient (before scaling by
+    /// the archetype-specific profile richness).
+    pub profile_actives: usize,
+    /// Base number of service features activated per stay.
+    pub stay_actives: usize,
+}
+
+impl CohortConfig {
+    /// A cohort matching the paper's scale (30,685 patients, full feature
+    /// dictionary).  Expensive — intended for `--release` experiment runs.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            num_patients: crate::departments::PAPER_NUM_PATIENTS,
+            features: FeatureDictionary::paper_full(),
+            seed,
+            profile_actives: 24,
+            stay_actives: 40,
+        }
+    }
+
+    /// A scaled-down cohort: `scale` shrinks both the patient count and the
+    /// feature dictionary (floor of 50 patients).
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        Self {
+            num_patients: ((crate::departments::PAPER_NUM_PATIENTS as f64 * scale) as usize).max(50),
+            features: FeatureDictionary::scaled(scale.max(0.01)),
+            seed,
+            profile_actives: 16,
+            stay_actives: 24,
+        }
+    }
+
+    /// A small cohort for integration tests and examples (~1,200 patients).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            num_patients: 1_200,
+            features: FeatureDictionary::scaled(0.02),
+            seed,
+            profile_actives: 10,
+            stay_actives: 16,
+        }
+    }
+
+    /// A tiny cohort for unit tests and doctests (~150 patients).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            num_patients: 150,
+            features: FeatureDictionary::tiny(),
+            seed,
+            profile_actives: 6,
+            stay_actives: 10,
+        }
+    }
+}
+
+/// A generated cohort: the patients plus the configuration that produced them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cohort {
+    /// Generator configuration (kept for provenance and feature layout).
+    pub config: CohortConfig,
+    /// Patient records.
+    pub patients: Vec<PatientRecord>,
+    /// Archetype assigned to each patient (parallel to `patients`).
+    pub archetypes: Vec<Archetype>,
+}
+
+impl Cohort {
+    /// Total number of transition events in the cohort.
+    pub fn total_transitions(&self) -> usize {
+        self.patients.iter().map(|p| p.num_transitions()).sum()
+    }
+
+    /// The feature dictionary used to generate the cohort.
+    pub fn features(&self) -> &FeatureDictionary {
+        &self.config.features
+    }
+}
+
+/// Generate a synthetic cohort.
+pub fn generate_cohort(config: &CohortConfig) -> Cohort {
+    let mut patients = Vec::with_capacity(config.num_patients);
+    let mut archetypes = Vec::with_capacity(config.num_patients);
+    for id in 0..config.num_patients {
+        let mut rng = seeded_rng(derive_seed(config.seed, id as u64));
+        let archetype = sample_archetype(&mut rng);
+        let record = generate_patient(id, archetype, config, &mut rng);
+        record.validate();
+        patients.push(record);
+        archetypes.push(archetype);
+    }
+    Cohort { config: config.clone(), patients, archetypes }
+}
+
+fn sample_archetype(rng: &mut StdRng) -> Archetype {
+    let weights: Vec<f64> = Archetype::MIXTURE.iter().map(|&(_, w)| w).collect();
+    Archetype::MIXTURE[sample_categorical(rng, &weights)].0
+}
+
+fn generate_patient(
+    id: usize,
+    archetype: Archetype,
+    config: &CohortConfig,
+    rng: &mut StdRng,
+) -> PatientRecord {
+    let dict = &config.features;
+    // Severity in [0.5, 2.0]: scales dwell times and couples (weakly) with the
+    // downstream destinations through longer ICU chains.
+    let severity = 0.5 + 1.5 * rng.gen::<f64>();
+
+    // --- stay sequence ---------------------------------------------------
+    let target_transitions = sample_transition_count(archetype, rng);
+    let mut cus = vec![archetype.entry_unit(rng)];
+    let mut visit_counts = [0usize; NUM_CARE_UNITS];
+    visit_counts[cus[0]] += 1;
+    while cus.len() < target_transitions + 1 {
+        let current = *cus.last().expect("non-empty");
+        let next = sample_next_unit(archetype, current, &visit_counts, severity, rng);
+        visit_counts[next] += 1;
+        cus.push(next);
+        // Once on the ward, most trajectories terminate.
+        if next == CareUnit::Gw.index() && bernoulli(rng, 0.75) {
+            break;
+        }
+    }
+
+    // --- dwell times -------------------------------------------------------
+    let mut stays = Vec::with_capacity(cus.len());
+    let mut t = 0.0;
+    for (i, &cu) in cus.iter().enumerate() {
+        let dwell = sample_dwell_days(cu, severity, rng);
+        let next_cu = cus.get(i + 1).copied();
+        let services = generate_stay_features(archetype, cu, next_cu, dwell, config, rng);
+        stays.push(Stay { cu, entry_time: t, dwell_days: dwell, services });
+        t += dwell;
+    }
+
+    // --- profile features ----------------------------------------------------
+    let profile = generate_profile_features(archetype, severity, config, rng);
+
+    let _ = dict;
+    PatientRecord { id, profile, stays }
+}
+
+fn sample_transition_count(archetype: Archetype, rng: &mut StdRng) -> usize {
+    // Geometric-ish around the archetype mean, capped to keep sequences short.
+    let mean = archetype.mean_transitions();
+    let mut n = 0usize;
+    let continue_p = mean / (1.0 + mean);
+    while n < 6 && bernoulli(rng, continue_p) {
+        n += 1;
+    }
+    n
+}
+
+/// The mutually-correcting discrete-choice transition rule.
+fn sample_next_unit(
+    archetype: Archetype,
+    current: usize,
+    visit_counts: &[usize; NUM_CARE_UNITS],
+    severity: f64,
+    rng: &mut StdRng,
+) -> usize {
+    let affinity = archetype.affinity();
+    let boost = archetype.downstream_boost(current);
+    let gw = CareUnit::Gw.index();
+    let mut weights = [0.0; NUM_CARE_UNITS];
+    for (k, w) in weights.iter_mut().enumerate() {
+        let mut propensity = affinity[k] + boost[k];
+        // Self-correction: visiting a unit suppresses an immediate return
+        // (except the ward, which can absorb repeated visits).
+        if k != gw {
+            propensity /= 1.0 + 2.5 * visit_counts[k] as f64;
+        }
+        if k == current {
+            propensity *= 0.05;
+        }
+        // Sicker patients are pulled back into ICU-type units a bit more.
+        if k != gw {
+            propensity *= 0.6 + 0.4 * severity;
+        }
+        *w = propensity.max(0.0);
+    }
+    sample_categorical(rng, &weights)
+}
+
+fn sample_dwell_days(cu: usize, severity: f64, rng: &mut StdRng) -> f64 {
+    // Severity rescaling is centred so the population mean stays at the
+    // Table 1 target; the exponential-plus-floor mixture keeps the "1 day"
+    // class well populated while allowing long tails.
+    let mean = MEAN_DWELL_DAYS[cu] * (0.5 + 0.4 * severity);
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let d = -mean * u.ln() * 0.68 + 0.26 * mean;
+    d.clamp(0.3, 60.0)
+}
+
+fn generate_profile_features(
+    archetype: Archetype,
+    severity: f64,
+    config: &CohortConfig,
+    rng: &mut StdRng,
+) -> SparseVec {
+    let dict = &config.features;
+    // Profile richness differs per archetype so the per-department Table 2
+    // domain proportions come out imbalanced the same way as the paper:
+    // trauma and ward-only patients have very thin profiles.
+    let richness: f64 = match archetype {
+        Archetype::Trauma | Archetype::General => 0.05,
+        Archetype::Neonatal => 2.2,
+        Archetype::Medical | Archetype::Obstetric => 1.5,
+        _ => 1.0,
+    };
+    let count = ((config.profile_actives as f64) * richness).round() as usize;
+    let mut active: Vec<u32> = Vec::new();
+    // Archetype signature block: deterministic indices keyed by the archetype.
+    let signature = dict.profile_signature_indices(archetype.index() as u64, count.max(1), config.seed);
+    for &idx in signature.iter() {
+        if bernoulli(rng, 0.85) {
+            active.push(idx);
+        }
+    }
+    // Severity marker block (shared across archetypes).
+    if severity > 1.4 {
+        let sev = dict.profile_signature_indices(100, 4, config.seed);
+        active.extend(sev);
+    }
+    // A little noise.
+    let noise = (count / 5).max(1);
+    for _ in 0..noise {
+        active.push(rng.gen_range(0..dict.profile) as u32);
+    }
+    SparseVec::binary(dict.profile, active)
+}
+
+fn generate_stay_features(
+    archetype: Archetype,
+    cu: usize,
+    next_cu: Option<usize>,
+    dwell_days: f64,
+    config: &CohortConfig,
+    rng: &mut StdRng,
+) -> SparseVec {
+    let dict = &config.features;
+    let table2 = crate::departments::paper_table2()[cu];
+    // Per-domain budgets proportional to the Table 2 targets for this CU,
+    // excluding the profile share (handled at the patient level).
+    let service_share = table2[1] + table2[2] + table2[3];
+    let base = config.stay_actives as f64;
+    let budget = |share: f64| ((base * share / service_share.max(1e-6)).round() as usize).max(1);
+    let treat_budget = budget(table2[1]);
+    let nurse_budget = budget(table2[2]);
+    let med_budget = budget(table2[3]);
+
+    let mut active: Vec<u32> = Vec::new();
+
+    // Department signature (what care in this unit looks like).
+    push_signature(&mut active, dict, FeatureDomain::Treatment, 1000 + cu as u64, treat_budget / 2 + 1, config.seed, 0.9, rng);
+    push_signature(&mut active, dict, FeatureDomain::Nursing, 2000 + cu as u64, nurse_budget / 2 + 1, config.seed, 0.85, rng);
+    push_signature(&mut active, dict, FeatureDomain::Medication, 3000 + cu as u64, med_budget, config.seed, 0.8, rng);
+
+    // Next-destination signal: services ordered in preparation of the transfer
+    // (e.g. pre-operative work-up before cardiac surgery).  This is the signal
+    // the discriminative learners are supposed to pick up.
+    if let Some(next) = next_cu {
+        let key = 5000 + (cu * NUM_CARE_UNITS + next) as u64;
+        push_signature(&mut active, dict, FeatureDomain::Treatment, key, treat_budget / 2 + 1, config.seed, 0.85, rng);
+        push_signature(&mut active, dict, FeatureDomain::Nursing, 9000 + next as u64, (nurse_budget / 3).max(1), config.seed, 0.7, rng);
+    }
+
+    // Duration signal: long stays accumulate characteristic nursing items.
+    let dur_class = crate::departments::duration_class(dwell_days);
+    push_signature(&mut active, dict, FeatureDomain::Nursing, 7000 + dur_class as u64, (nurse_budget / 2).max(1), config.seed, 0.8, rng);
+    push_signature(&mut active, dict, FeatureDomain::Medication, 8000 + dur_class as u64, 1, config.seed, 0.6, rng);
+
+    // Archetype-wide therapy signature.
+    push_signature(&mut active, dict, FeatureDomain::Treatment, 400 + archetype.index() as u64, (treat_budget / 3).max(1), config.seed, 0.75, rng);
+
+    // Unstructured noise spread across the whole time-varying vector.
+    let noise = (config.stay_actives / 4).max(1);
+    for _ in 0..noise {
+        active.push(rng.gen_range(0..dict.time_varying_dim()) as u32);
+    }
+
+    SparseVec::binary(dict.time_varying_dim(), active)
+}
+
+fn push_signature(
+    active: &mut Vec<u32>,
+    dict: &FeatureDictionary,
+    domain: FeatureDomain,
+    key: u64,
+    count: usize,
+    seed: u64,
+    keep_prob: f64,
+    rng: &mut StdRng,
+) {
+    for idx in dict.signature_indices(domain, key, count, seed) {
+        if bernoulli(rng, keep_prob) {
+            active.push(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::departments::{paper_table1, CareUnit};
+
+    #[test]
+    fn tiny_cohort_has_requested_size_and_valid_records() {
+        let cohort = generate_cohort(&CohortConfig::tiny(7));
+        assert_eq!(cohort.patients.len(), 150);
+        assert_eq!(cohort.archetypes.len(), 150);
+        for p in &cohort.patients {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = generate_cohort(&CohortConfig::tiny(3));
+        let b = generate_cohort(&CohortConfig::tiny(3));
+        assert_eq!(a.patients.len(), b.patients.len());
+        for (pa, pb) in a.patients.iter().zip(b.patients.iter()) {
+            assert_eq!(pa.stays.len(), pb.stays.len());
+            assert_eq!(pa.profile, pb.profile);
+            for (sa, sb) in pa.stays.iter().zip(pb.stays.iter()) {
+                assert_eq!(sa.cu, sb.cu);
+                assert!((sa.dwell_days - sb.dwell_days).abs() < 1e-12);
+                assert_eq!(sa.services, sb.services);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_cohorts() {
+        let a = generate_cohort(&CohortConfig::tiny(1));
+        let b = generate_cohort(&CohortConfig::tiny(2));
+        let same = a
+            .patients
+            .iter()
+            .zip(b.patients.iter())
+            .all(|(x, y)| x.stays.len() == y.stays.len() && x.profile == y.profile);
+        assert!(!same);
+    }
+
+    #[test]
+    fn ward_dominates_and_rare_units_are_rare() {
+        let cohort = generate_cohort(&CohortConfig::small(11));
+        let mut patients_per_cu = [0usize; NUM_CARE_UNITS];
+        for p in &cohort.patients {
+            for cu in 0..NUM_CARE_UNITS {
+                if p.visited(cu) {
+                    patients_per_cu[cu] += 1;
+                }
+            }
+        }
+        let n = cohort.patients.len() as f64;
+        let gw_share = patients_per_cu[CareUnit::Gw.index()] as f64 / n;
+        let acu_share = patients_per_cu[CareUnit::Acu.index()] as f64 / n;
+        let tsicu_share = patients_per_cu[CareUnit::Tsicu.index()] as f64 / n;
+        assert!(gw_share > 0.6, "GW share = {gw_share}");
+        assert!(acu_share < 0.08, "ACU share = {acu_share}");
+        assert!(tsicu_share < 0.12, "TSICU share = {tsicu_share}");
+        // Imbalance direction matches the paper: GW >> CSRU-ish > ACU.
+        assert!(patients_per_cu[CareUnit::Csru.index()] > patients_per_cu[CareUnit::Acu.index()]);
+    }
+
+    #[test]
+    fn department_patient_shares_track_table1_ordering() {
+        let cohort = generate_cohort(&CohortConfig::small(5));
+        let mut shares = [0.0f64; NUM_CARE_UNITS];
+        for p in &cohort.patients {
+            for cu in 0..NUM_CARE_UNITS {
+                if p.visited(cu) {
+                    shares[cu] += 1.0;
+                }
+            }
+        }
+        let paper = paper_table1();
+        // Spearman-style check: the two most common and two rarest departments
+        // should agree with the paper.
+        let mut ours: Vec<usize> = (0..NUM_CARE_UNITS).collect();
+        ours.sort_by(|&a, &b| shares[b].partial_cmp(&shares[a]).unwrap());
+        let mut theirs: Vec<usize> = (0..NUM_CARE_UNITS).collect();
+        theirs.sort_by_key(|&k| std::cmp::Reverse(paper[k].patients));
+        assert_eq!(ours[0], theirs[0], "most common department should be GW");
+        assert_eq!(ours[NUM_CARE_UNITS - 1], theirs[NUM_CARE_UNITS - 1], "rarest should be ACU");
+    }
+
+    #[test]
+    fn nicu_stays_are_longest_on_average() {
+        let cohort = generate_cohort(&CohortConfig::small(13));
+        let mut sum = [0.0f64; NUM_CARE_UNITS];
+        let mut cnt = [0usize; NUM_CARE_UNITS];
+        for p in &cohort.patients {
+            for s in &p.stays {
+                sum[s.cu] += s.dwell_days;
+                cnt[s.cu] += 1;
+            }
+        }
+        let mean = |cu: CareUnit| sum[cu.index()] / cnt[cu.index()].max(1) as f64;
+        assert!(mean(CareUnit::Nicu) > mean(CareUnit::Ccu));
+        assert!(mean(CareUnit::Nicu) > mean(CareUnit::Gw));
+    }
+
+    #[test]
+    fn stay_features_are_sparse_and_in_range() {
+        let config = CohortConfig::tiny(9);
+        let cohort = generate_cohort(&config);
+        let dim = config.features.time_varying_dim();
+        for p in &cohort.patients {
+            assert!(p.profile.dim() == config.features.profile);
+            for s in &p.stays {
+                assert_eq!(s.services.dim(), dim);
+                assert!(s.services.nnz() > 0, "every stay should have some services");
+                assert!(s.services.nnz() < dim / 2, "features must stay sparse");
+            }
+        }
+    }
+
+    #[test]
+    fn total_transitions_is_sum_over_patients() {
+        let cohort = generate_cohort(&CohortConfig::tiny(4));
+        let manual: usize = cohort.patients.iter().map(|p| p.num_transitions()).sum();
+        assert_eq!(cohort.total_transitions(), manual);
+        assert!(manual > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn scaled_config_rejects_bad_scale() {
+        let _ = CohortConfig::scaled(1.5, 1);
+    }
+}

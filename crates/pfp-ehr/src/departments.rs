@@ -1,0 +1,220 @@
+//! The care-unit taxonomy of the paper and the published target statistics
+//! (Tables 1 and 2) that the synthetic cohort aims to reproduce.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of care-unit departments (`C` in the paper).
+pub const NUM_CARE_UNITS: usize = 8;
+
+/// Number of duration-day categories (`D` in the paper): 1–7 days and ">7 days".
+pub const NUM_DURATION_CLASSES: usize = 8;
+
+/// The eight care-unit departments of the MIMIC-II extract used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CareUnit {
+    /// Coronary care unit.
+    Ccu,
+    /// Anesthesia care unit.
+    Acu,
+    /// Fetal ICU.
+    Ficu,
+    /// Cardiac surgery recovery unit.
+    Csru,
+    /// Medical ICU.
+    Micu,
+    /// Trauma surgical ICU.
+    Tsicu,
+    /// Neonatal ICU.
+    Nicu,
+    /// General ward.
+    Gw,
+}
+
+impl CareUnit {
+    /// All departments in index order.
+    pub const ALL: [CareUnit; NUM_CARE_UNITS] = [
+        CareUnit::Ccu,
+        CareUnit::Acu,
+        CareUnit::Ficu,
+        CareUnit::Csru,
+        CareUnit::Micu,
+        CareUnit::Tsicu,
+        CareUnit::Nicu,
+        CareUnit::Gw,
+    ];
+
+    /// Dense index in `0..NUM_CARE_UNITS`.
+    pub fn index(self) -> usize {
+        match self {
+            CareUnit::Ccu => 0,
+            CareUnit::Acu => 1,
+            CareUnit::Ficu => 2,
+            CareUnit::Csru => 3,
+            CareUnit::Micu => 4,
+            CareUnit::Tsicu => 5,
+            CareUnit::Nicu => 6,
+            CareUnit::Gw => 7,
+        }
+    }
+
+    /// Inverse of [`CareUnit::index`].
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_CARE_UNITS`.
+    pub fn from_index(index: usize) -> CareUnit {
+        Self::ALL[index]
+    }
+
+    /// Short department code used in the paper's tables.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            CareUnit::Ccu => "CCU",
+            CareUnit::Acu => "ACU",
+            CareUnit::Ficu => "FICU",
+            CareUnit::Csru => "CSRU",
+            CareUnit::Micu => "MICU",
+            CareUnit::Tsicu => "TSICU",
+            CareUnit::Nicu => "NICU",
+            CareUnit::Gw => "GW",
+        }
+    }
+
+    /// Full department name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CareUnit::Ccu => "Coronary care unit",
+            CareUnit::Acu => "Anesthesia care unit",
+            CareUnit::Ficu => "Fetal ICU",
+            CareUnit::Csru => "Cardiac surgery recovery unit",
+            CareUnit::Micu => "Medical ICU",
+            CareUnit::Tsicu => "Trauma surgical ICU",
+            CareUnit::Nicu => "Neonatal ICU",
+            CareUnit::Gw => "General ward",
+        }
+    }
+}
+
+/// Convert a dwell time in days into the paper's duration category
+/// (`0` = 1 day, ..., `6` = 7 days, `7` = more than a week).
+pub fn duration_class(dwell_days: f64) -> usize {
+    let days = dwell_days.ceil().max(1.0) as usize;
+    if days > 7 {
+        NUM_DURATION_CLASSES - 1
+    } else {
+        days - 1
+    }
+}
+
+/// Human-readable label of a duration category.
+pub fn duration_label(class: usize) -> String {
+    assert!(class < NUM_DURATION_CLASSES, "duration class out of range");
+    if class == NUM_DURATION_CLASSES - 1 {
+        ">7 days".to_string()
+    } else {
+        format!("{}-day", class + 1)
+    }
+}
+
+/// Published per-department statistics (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PaperTable1Row {
+    /// Number of patients who ever stayed in this department.
+    pub patients: usize,
+    /// Number of transitions directed to this department.
+    pub transitions: usize,
+    /// Mean dwell time in days.
+    pub mean_duration_days: f64,
+}
+
+/// The Table 1 targets in department index order.
+pub fn paper_table1() -> [PaperTable1Row; NUM_CARE_UNITS] {
+    [
+        PaperTable1Row { patients: 6_259, transitions: 7_030, mean_duration_days: 3.32 },
+        PaperTable1Row { patients: 559, transitions: 631, mean_duration_days: 2.38 },
+        PaperTable1Row { patients: 3_254, transitions: 3_525, mean_duration_days: 4.46 },
+        PaperTable1Row { patients: 9_490, transitions: 10_679, mean_duration_days: 3.96 },
+        PaperTable1Row { patients: 7_245, transitions: 8_903, mean_duration_days: 3.83 },
+        PaperTable1Row { patients: 1_552, transitions: 1_628, mean_duration_days: 3.21 },
+        PaperTable1Row { patients: 7_458, transitions: 7_657, mean_duration_days: 9.01 },
+        PaperTable1Row { patients: 23_748, transitions: 28_118, mean_duration_days: 4.15 },
+    ]
+}
+
+/// Total number of patients in the paper's extract.
+pub const PAPER_NUM_PATIENTS: usize = 30_685;
+
+/// Published per-department feature-domain proportions (Table 2), in the
+/// order `[profile, treatment, nursing, medication]` per department.
+pub fn paper_table2() -> [[f64; 4]; NUM_CARE_UNITS] {
+    [
+        [0.347, 0.505, 0.117, 0.031], // CCU
+        [0.512, 0.354, 0.112, 0.022], // ACU
+        [0.347, 0.505, 0.120, 0.028], // FICU
+        [0.330, 0.562, 0.085, 0.023], // CSRU
+        [0.513, 0.342, 0.121, 0.024], // MICU
+        [0.001, 0.995, 0.002, 0.002], // TSICU
+        [0.640, 0.241, 0.100, 0.019], // NICU
+        [0.001, 0.996, 0.001, 0.002], // GW
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, &cu) in CareUnit::ALL.iter().enumerate() {
+            assert_eq!(cu.index(), i);
+            assert_eq!(CareUnit::from_index(i), cu);
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let set: std::collections::HashSet<_> = CareUnit::ALL.iter().map(|c| c.abbrev()).collect();
+        assert_eq!(set.len(), NUM_CARE_UNITS);
+    }
+
+    #[test]
+    fn duration_class_buckets_match_paper() {
+        assert_eq!(duration_class(0.3), 0); // under a day counts as 1 day
+        assert_eq!(duration_class(1.0), 0);
+        assert_eq!(duration_class(1.5), 1);
+        assert_eq!(duration_class(7.0), 6);
+        assert_eq!(duration_class(7.5), 7);
+        assert_eq!(duration_class(30.0), 7);
+    }
+
+    #[test]
+    fn duration_labels() {
+        assert_eq!(duration_label(0), "1-day");
+        assert_eq!(duration_label(6), "7-day");
+        assert_eq!(duration_label(7), ">7 days");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn duration_label_rejects_invalid_class() {
+        let _ = duration_label(8);
+    }
+
+    #[test]
+    fn paper_table1_totals_are_consistent() {
+        let t1 = paper_table1();
+        let gw = &t1[CareUnit::Gw.index()];
+        assert_eq!(gw.patients, 23_748);
+        // Every department has at least as many transitions as patients.
+        for row in &t1 {
+            assert!(row.transitions >= row.patients);
+        }
+    }
+
+    #[test]
+    fn paper_table2_rows_sum_to_one() {
+        for row in paper_table2() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 0.01, "domain proportions should sum to ~1, got {s}");
+        }
+    }
+}

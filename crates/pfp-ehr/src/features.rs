@@ -1,0 +1,272 @@
+//! The EHR feature dictionary.
+//!
+//! The paper extracts binary feature vectors from four domains:
+//!
+//! * **profile** (`M_p` = 4,832) — time-invariant: demographics, chronic
+//!   conditions, diagnoses; one vector `f_0` per patient.
+//! * **treatment** (`M_treat` = 5,627), **medication** (`M_med` = 405),
+//!   **nursing** (`M_nurse` = 6,808) — time-varying: one vector `f_i` per
+//!   care-unit stay.
+//!
+//! This module defines the layout (index ranges) of those domains and helpers
+//! for generating deterministic "signature" index sets, which the cohort
+//! generator uses to plant recoverable structure in the synthetic data.
+
+use serde::{Deserialize, Serialize};
+
+use pfp_math::rng::{derive_seed, sample_without_replacement, seeded_rng};
+
+/// Which of the four EHR feature domains an index belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureDomain {
+    /// Time-invariant patient profile (demographics, diagnoses).
+    Profile,
+    /// Treatments: tests, surgeries, therapies.
+    Treatment,
+    /// Nursing programmes and fluid I/O records.
+    Nursing,
+    /// Medications and usage methods.
+    Medication,
+}
+
+impl FeatureDomain {
+    /// All domains in the order used by Table 2.
+    pub const ALL: [FeatureDomain; 4] = [
+        FeatureDomain::Profile,
+        FeatureDomain::Treatment,
+        FeatureDomain::Nursing,
+        FeatureDomain::Medication,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureDomain::Profile => "Profile",
+            FeatureDomain::Treatment => "Treatment",
+            FeatureDomain::Nursing => "Nursing",
+            FeatureDomain::Medication => "Medication",
+        }
+    }
+}
+
+/// Sizes and index layout of the feature dictionary.
+///
+/// Time-varying stay features are laid out `[treatment | nursing | medication]`
+/// in one vector of dimension [`FeatureDictionary::time_varying_dim`]; profile
+/// features live in their own vector of dimension `profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureDictionary {
+    /// `M_p`: number of profile features.
+    pub profile: usize,
+    /// `M_treat`: number of treatment features.
+    pub treatment: usize,
+    /// `M_nurse`: number of nursing features.
+    pub nursing: usize,
+    /// `M_med`: number of medication features.
+    pub medication: usize,
+}
+
+impl FeatureDictionary {
+    /// The full dictionary sizes reported by the paper.
+    pub fn paper_full() -> Self {
+        Self { profile: 4_832, treatment: 5_627, nursing: 6_808, medication: 405 }
+    }
+
+    /// A scaled-down dictionary preserving the relative domain sizes.
+    ///
+    /// `scale = 1.0` gives the full paper sizes; smaller values shrink every
+    /// domain proportionally (with a floor of 8 features per domain).
+    pub fn scaled(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let full = Self::paper_full();
+        let shrink = |n: usize| ((n as f64 * scale).round() as usize).max(8);
+        Self {
+            profile: shrink(full.profile),
+            treatment: shrink(full.treatment),
+            nursing: shrink(full.nursing),
+            medication: shrink(full.medication),
+        }
+    }
+
+    /// A tiny dictionary for unit tests and doctests.
+    pub fn tiny() -> Self {
+        Self { profile: 40, treatment: 60, nursing: 40, medication: 20 }
+    }
+
+    /// Dimension of the time-varying stay vector (`treatment + nursing + medication`).
+    pub fn time_varying_dim(&self) -> usize {
+        self.treatment + self.nursing + self.medication
+    }
+
+    /// Total feature dimension `M = M_p + M_treat + M_nurse + M_med`, i.e. the
+    /// number of group-lasso groups of the DMCP model.
+    pub fn total_dim(&self) -> usize {
+        self.profile + self.time_varying_dim()
+    }
+
+    /// Index range of a domain *within the time-varying vector*.
+    ///
+    /// # Panics
+    /// Panics for [`FeatureDomain::Profile`], which is not part of the
+    /// time-varying vector.
+    pub fn time_varying_range(&self, domain: FeatureDomain) -> std::ops::Range<usize> {
+        match domain {
+            FeatureDomain::Profile => panic!("profile is not a time-varying domain"),
+            FeatureDomain::Treatment => 0..self.treatment,
+            FeatureDomain::Nursing => self.treatment..self.treatment + self.nursing,
+            FeatureDomain::Medication => {
+                self.treatment + self.nursing..self.time_varying_dim()
+            }
+        }
+    }
+
+    /// Domain of an index of the time-varying vector.
+    pub fn domain_of_time_varying(&self, index: usize) -> FeatureDomain {
+        assert!(index < self.time_varying_dim(), "time-varying index out of range");
+        if index < self.treatment {
+            FeatureDomain::Treatment
+        } else if index < self.treatment + self.nursing {
+            FeatureDomain::Nursing
+        } else {
+            FeatureDomain::Medication
+        }
+    }
+
+    /// Domain of an index of the *combined* feature map
+    /// `[profile | treatment | nursing | medication]` used by the DMCP model.
+    pub fn domain_of_combined(&self, index: usize) -> FeatureDomain {
+        assert!(index < self.total_dim(), "combined index out of range");
+        if index < self.profile {
+            FeatureDomain::Profile
+        } else {
+            self.domain_of_time_varying(index - self.profile)
+        }
+    }
+
+    /// Deterministic "signature" index set inside a domain of the time-varying
+    /// vector: `count` distinct indices chosen pseudo-randomly from the
+    /// domain's range, keyed by `(seed, key)`.
+    ///
+    /// The cohort generator uses these to associate specific treatment /
+    /// nursing / medication items with departments, transitions and duration
+    /// classes, so the synthetic features carry recoverable signal.
+    pub fn signature_indices(
+        &self,
+        domain: FeatureDomain,
+        key: u64,
+        count: usize,
+        seed: u64,
+    ) -> Vec<u32> {
+        let range = self.time_varying_range(domain);
+        let len = range.len();
+        let count = count.min(len);
+        let mut rng = seeded_rng(derive_seed(seed, 0xFEA7 ^ key));
+        sample_without_replacement(&mut rng, len, count)
+            .into_iter()
+            .map(|i| (range.start + i) as u32)
+            .collect()
+    }
+
+    /// Deterministic signature index set inside the profile vector.
+    pub fn profile_signature_indices(&self, key: u64, count: usize, seed: u64) -> Vec<u32> {
+        let count = count.min(self.profile);
+        let mut rng = seeded_rng(derive_seed(seed, 0x9E0F ^ key));
+        sample_without_replacement(&mut rng, self.profile, count)
+            .into_iter()
+            .map(|i| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_full_matches_reported_sizes() {
+        let d = FeatureDictionary::paper_full();
+        assert_eq!(d.profile, 4_832);
+        assert_eq!(d.treatment, 5_627);
+        assert_eq!(d.nursing, 6_808);
+        assert_eq!(d.medication, 405);
+        assert_eq!(d.total_dim(), 4_832 + 5_627 + 6_808 + 405);
+    }
+
+    #[test]
+    fn scaled_preserves_ordering_and_floors() {
+        let d = FeatureDictionary::scaled(0.01);
+        assert!(d.treatment > d.medication);
+        assert!(d.medication >= 8);
+        assert_eq!(FeatureDictionary::scaled(1.0), FeatureDictionary::paper_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn scaled_rejects_zero() {
+        let _ = FeatureDictionary::scaled(0.0);
+    }
+
+    #[test]
+    fn ranges_partition_the_time_varying_vector() {
+        let d = FeatureDictionary::tiny();
+        let t = d.time_varying_range(FeatureDomain::Treatment);
+        let n = d.time_varying_range(FeatureDomain::Nursing);
+        let m = d.time_varying_range(FeatureDomain::Medication);
+        assert_eq!(t.end, n.start);
+        assert_eq!(n.end, m.start);
+        assert_eq!(m.end, d.time_varying_dim());
+    }
+
+    #[test]
+    fn domain_lookup_is_consistent_with_ranges() {
+        let d = FeatureDictionary::tiny();
+        for domain in [FeatureDomain::Treatment, FeatureDomain::Nursing, FeatureDomain::Medication] {
+            for i in d.time_varying_range(domain) {
+                assert_eq!(d.domain_of_time_varying(i), domain);
+            }
+        }
+        assert_eq!(d.domain_of_combined(0), FeatureDomain::Profile);
+        assert_eq!(d.domain_of_combined(d.profile), FeatureDomain::Treatment);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile is not a time-varying domain")]
+    fn profile_has_no_time_varying_range() {
+        let _ = FeatureDictionary::tiny().time_varying_range(FeatureDomain::Profile);
+    }
+
+    #[test]
+    fn signature_indices_are_deterministic_distinct_and_in_range() {
+        let d = FeatureDictionary::tiny();
+        let a = d.signature_indices(FeatureDomain::Nursing, 3, 5, 42);
+        let b = d.signature_indices(FeatureDomain::Nursing, 3, 5, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let range = d.time_varying_range(FeatureDomain::Nursing);
+        for &i in &a {
+            assert!(range.contains(&(i as usize)));
+        }
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        // Different keys give different signatures (with overwhelming probability).
+        let c = d.signature_indices(FeatureDomain::Nursing, 4, 5, 42);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn signature_count_is_capped_by_domain_size() {
+        let d = FeatureDictionary::tiny();
+        let s = d.signature_indices(FeatureDomain::Medication, 1, 500, 1);
+        assert_eq!(s.len(), d.medication);
+        let p = d.profile_signature_indices(9, 500, 1);
+        assert_eq!(p.len(), d.profile);
+    }
+
+    #[test]
+    fn domain_labels_are_unique() {
+        let set: std::collections::HashSet<_> = FeatureDomain::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,271 @@
+//! Descriptive statistics of a cohort, reproducing the data-analysis section
+//! of the paper (Tables 1–2 and Figure 2).
+
+use serde::{Deserialize, Serialize};
+
+use pfp_math::stats::Contingency;
+
+use crate::cohort::Cohort;
+use crate::departments::{CareUnit, NUM_CARE_UNITS, NUM_DURATION_CLASSES};
+use crate::features::FeatureDomain;
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Department index.
+    pub cu: usize,
+    /// Number of patients who ever stayed in the department.
+    pub patients: usize,
+    /// Number of transitions directed to the department.
+    pub transitions: usize,
+    /// Mean dwell time (days) over all stays in the department.
+    pub mean_duration_days: f64,
+}
+
+/// Reproduce Table 1: per-department patient counts, transition counts and
+/// mean durations.
+pub fn table1(cohort: &Cohort) -> Vec<Table1Row> {
+    let mut patients = [0usize; NUM_CARE_UNITS];
+    let mut transitions = [0usize; NUM_CARE_UNITS];
+    let mut dwell_sum = [0.0f64; NUM_CARE_UNITS];
+    let mut dwell_cnt = [0usize; NUM_CARE_UNITS];
+
+    for p in &cohort.patients {
+        for cu in 0..NUM_CARE_UNITS {
+            if p.visited(cu) {
+                patients[cu] += 1;
+            }
+        }
+        // Every stay is an arrival directed to that department (the paper's
+        // transition counts include the admission, which is why they exceed
+        // the patient counts).
+        for s in &p.stays {
+            transitions[s.cu] += 1;
+            dwell_sum[s.cu] += s.dwell_days;
+            dwell_cnt[s.cu] += 1;
+        }
+    }
+
+    (0..NUM_CARE_UNITS)
+        .map(|cu| Table1Row {
+            cu,
+            patients: patients[cu],
+            transitions: transitions[cu],
+            mean_duration_days: dwell_sum[cu] / dwell_cnt[cu].max(1) as f64,
+        })
+        .collect()
+}
+
+/// One row of the reproduced Table 2: the proportion of a department's
+/// nonzero features falling in each domain
+/// (`[profile, treatment, nursing, medication]`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Department index.
+    pub cu: usize,
+    /// Proportions per feature domain, summing to one.
+    pub proportions: [f64; 4],
+}
+
+/// Reproduce Table 2: per-department feature-domain proportions.
+///
+/// For every stay in a department we count the nonzero entries of the
+/// patient's profile vector and of the stay's service vector split by domain,
+/// then normalise within the department.
+pub fn table2(cohort: &Cohort) -> Vec<Table2Row> {
+    let dict = cohort.features();
+    let mut counts = [[0usize; 4]; NUM_CARE_UNITS];
+    for p in &cohort.patients {
+        for s in &p.stays {
+            counts[s.cu][0] += p.profile.nnz();
+            for (idx, _) in s.services.iter() {
+                match dict.domain_of_time_varying(idx as usize) {
+                    FeatureDomain::Treatment => counts[s.cu][1] += 1,
+                    FeatureDomain::Nursing => counts[s.cu][2] += 1,
+                    FeatureDomain::Medication => counts[s.cu][3] += 1,
+                    FeatureDomain::Profile => unreachable!("service vectors have no profile domain"),
+                }
+            }
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(cu, c)| {
+            let total: usize = c.iter().sum();
+            let proportions = if total == 0 {
+                [0.0; 4]
+            } else {
+                [
+                    c[0] as f64 / total as f64,
+                    c[1] as f64 / total as f64,
+                    c[2] as f64 / total as f64,
+                    c[3] as f64 / total as f64,
+                ]
+            };
+            Table2Row { cu, proportions }
+        })
+        .collect()
+}
+
+/// The Figure 2 data: a CU × duration-class contingency table over transition
+/// events plus the destination/duration index correlation the paper reports
+/// (≈ 0.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    /// `histogram[d][cu]` = probability of department `cu` among transitions
+    /// whose preceding stay fell in duration class `d` (columns of Fig. 2).
+    pub per_duration_class: Vec<Vec<f64>>,
+    /// Pearson correlation between destination index and duration class.
+    pub correlation: f64,
+    /// Raw counts `counts[cu][d]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+/// Compute the Figure 2 histogram and correlation from transition events.
+pub fn duration_histogram(cohort: &Cohort) -> DurationHistogram {
+    let mut table = Contingency::new(NUM_CARE_UNITS, NUM_DURATION_CLASSES);
+    for p in &cohort.patients {
+        for t in p.transitions() {
+            table.add(t.destination, t.duration_class);
+        }
+    }
+    let per_duration_class = (0..NUM_DURATION_CLASSES)
+        .map(|d| table.column_distribution(d))
+        .collect();
+    let counts = (0..NUM_CARE_UNITS)
+        .map(|cu| (0..NUM_DURATION_CLASSES).map(|d| table.get(cu, d)).collect())
+        .collect();
+    DurationHistogram { per_duration_class, correlation: table.index_correlation(), counts }
+}
+
+/// Mean dwell time across every stay in the cohort — the paper's choice for
+/// the Gaussian bandwidth `σ` of the mutually-correcting kernel (Section 4.4).
+pub fn mean_dwell_days(cohort: &Cohort) -> f64 {
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for p in &cohort.patients {
+        for s in &p.stays {
+            sum += s.dwell_days;
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        1.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+/// Class counts over the transition labels: `(destination counts, duration counts)`.
+///
+/// Used by the imbalance pre-processing and by tests asserting the imbalance
+/// structure of the synthetic data.
+pub fn label_counts(cohort: &Cohort) -> (Vec<usize>, Vec<usize>) {
+    let mut cu_counts = vec![0usize; NUM_CARE_UNITS];
+    let mut dur_counts = vec![0usize; NUM_DURATION_CLASSES];
+    for p in &cohort.patients {
+        for t in p.transitions() {
+            cu_counts[t.destination] += 1;
+            dur_counts[t.duration_class] += 1;
+        }
+    }
+    (cu_counts, dur_counts)
+}
+
+/// Pretty department label for report rendering.
+pub fn cu_label(cu: usize) -> &'static str {
+    CareUnit::from_index(cu).abbrev()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::{generate_cohort, CohortConfig};
+    use crate::departments::paper_table2;
+
+    fn cohort() -> Cohort {
+        generate_cohort(&CohortConfig::small(17))
+    }
+
+    #[test]
+    fn table1_counts_are_internally_consistent() {
+        let c = cohort();
+        let t1 = table1(&c);
+        assert_eq!(t1.len(), NUM_CARE_UNITS);
+        let total_stays: usize = c.patients.iter().map(|p| p.stays.len()).sum();
+        let total_transitions: usize = t1.iter().map(|r| r.transitions).sum();
+        assert_eq!(total_transitions, total_stays);
+        for row in &t1 {
+            assert!(row.patients <= c.patients.len());
+            assert!(row.transitions >= row.patients, "arrivals include the admission");
+            assert!(row.mean_duration_days >= 0.0);
+        }
+        // GW is the most visited department.
+        let gw = &t1[CareUnit::Gw.index()];
+        assert!(t1.iter().all(|r| r.patients <= gw.patients));
+    }
+
+    #[test]
+    fn table1_duration_ordering_matches_paper() {
+        let t1 = table1(&cohort());
+        let nicu = t1[CareUnit::Nicu.index()].mean_duration_days;
+        for row in &t1 {
+            if row.cu != CareUnit::Nicu.index() {
+                assert!(nicu > row.mean_duration_days, "NICU should have the longest stays");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_rows_sum_to_one_and_treatment_dominates_where_expected() {
+        let t2 = table2(&cohort());
+        for row in &t2 {
+            let s: f64 = row.proportions.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+        }
+        // The paper's Table 2 has treatment as the dominant service domain for
+        // every department; medication is always the smallest service share.
+        for row in &t2 {
+            assert!(row.proportions[1] > row.proportions[3], "treatment > medication for CU {}", row.cu);
+        }
+        let _ = paper_table2();
+    }
+
+    #[test]
+    fn duration_histogram_columns_are_distributions() {
+        let h = duration_histogram(&cohort());
+        assert_eq!(h.per_duration_class.len(), NUM_DURATION_CLASSES);
+        for col in &h.per_duration_class {
+            let s: f64 = col.iter().sum();
+            assert!(s == 0.0 || (s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn destination_duration_correlation_is_weak() {
+        let h = duration_histogram(&cohort());
+        assert!(h.correlation.abs() < 0.45, "correlation = {} should be weak", h.correlation);
+    }
+
+    #[test]
+    fn label_counts_reflect_imbalance() {
+        let (cu_counts, dur_counts) = label_counts(&cohort());
+        assert_eq!(cu_counts.iter().sum::<usize>(), dur_counts.iter().sum::<usize>());
+        let gw = cu_counts[CareUnit::Gw.index()];
+        let acu = cu_counts[CareUnit::Acu.index()];
+        assert!(gw > 10 * acu.max(1), "GW ({gw}) should dwarf ACU ({acu})");
+    }
+
+    #[test]
+    fn mean_dwell_days_is_positive_and_moderate() {
+        let m = mean_dwell_days(&cohort());
+        assert!(m > 1.0 && m < 15.0, "mean dwell = {m}");
+    }
+
+    #[test]
+    fn cu_labels_match_departments() {
+        assert_eq!(cu_label(0), "CCU");
+        assert_eq!(cu_label(7), "GW");
+    }
+}

@@ -1,0 +1,93 @@
+//! K-fold cross-validation (Section 4.1: 10-fold CV over the training data).
+//!
+//! Folds are split by patient.  Training of the per-fold models is embarrassingly
+//! parallel, so the harness runs folds on scoped `crossbeam` threads.
+
+use crossbeam::thread;
+use pfp_baselines::FlowPredictor;
+use pfp_core::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{evaluate, AccuracyReport};
+
+/// Aggregated cross-validation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvResult {
+    /// One report per fold (validation accuracy).
+    pub fold_reports: Vec<AccuracyReport>,
+    /// Mean of the per-fold reports.
+    pub mean: AccuracyReport,
+}
+
+impl CvResult {
+    /// Standard deviation of the overall destination accuracy across folds.
+    pub fn overall_cu_std(&self) -> f64 {
+        let accs: Vec<f64> = self.fold_reports.iter().map(|r| r.overall_cu).collect();
+        pfp_math::stats::std_dev(&accs)
+    }
+
+    /// Standard deviation of the overall duration accuracy across folds.
+    pub fn overall_duration_std(&self) -> f64 {
+        let accs: Vec<f64> = self.fold_reports.iter().map(|r| r.overall_duration).collect();
+        pfp_math::stats::std_dev(&accs)
+    }
+}
+
+/// Run `k`-fold cross-validation, training with `train_fn` on each fold's
+/// training split and evaluating on its validation split.
+///
+/// Folds run in parallel on scoped threads; `train_fn` must therefore be
+/// `Sync` (it is called concurrently from several threads).
+pub fn cross_validate<P, F>(dataset: &Dataset, k: usize, seed: u64, train_fn: F) -> CvResult
+where
+    P: FlowPredictor + Send,
+    F: Fn(&Dataset) -> P + Sync,
+{
+    let folds = dataset.k_folds(k, seed);
+    let fold_reports: Vec<AccuracyReport> = thread::scope(|scope| {
+        let handles: Vec<_> = folds
+            .iter()
+            .map(|(train, val)| {
+                let train_fn = &train_fn;
+                scope.spawn(move |_| {
+                    let model = train_fn(train);
+                    evaluate(&model, val)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
+    })
+    .expect("cross-validation scope panicked");
+
+    let mean = AccuracyReport::average(&fold_reports);
+    CvResult { fold_reports, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_baselines::MarkovPredictor;
+    use pfp_ehr::{generate_cohort, CohortConfig};
+
+    #[test]
+    fn cross_validation_produces_one_report_per_fold() {
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(141)));
+        let result = cross_validate(&ds, 4, 9, MarkovPredictor::train);
+        assert_eq!(result.fold_reports.len(), 4);
+        for r in &result.fold_reports {
+            assert!(r.num_samples > 0);
+            assert!((0.0..=1.0).contains(&r.overall_cu));
+        }
+        assert!((0.0..=1.0).contains(&result.mean.overall_cu));
+        assert!(result.overall_cu_std() < 0.5);
+        assert!(result.overall_duration_std() < 0.5);
+    }
+
+    #[test]
+    fn fold_validation_sets_partition_the_samples() {
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(142)));
+        let result = cross_validate(&ds, 5, 11, MarkovPredictor::train);
+        let total: usize = result.fold_reports.iter().map(|r| r.num_samples).sum();
+        assert_eq!(total, ds.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! Dataset construction helpers (thin wrappers over `pfp-core::dataset`).
+
+use pfp_core::Dataset;
+use pfp_ehr::Cohort;
+
+pub use pfp_core::dataset::{RawSample, Sample};
+
+/// Build the transition dataset of a cohort.
+///
+/// Equivalent to [`Dataset::from_cohort`]; kept as a free function so the
+/// umbrella crate exposes a one-call entry point.
+pub fn build_dataset(cohort: &Cohort) -> Dataset {
+    Dataset::from_cohort(cohort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_ehr::{generate_cohort, CohortConfig};
+
+    #[test]
+    fn build_dataset_matches_direct_construction() {
+        let cohort = generate_cohort(&CohortConfig::tiny(3));
+        let a = build_dataset(&cohort);
+        let b = Dataset::from_cohort(&cohort);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_feature_dim(), b.total_feature_dim());
+    }
+}

@@ -1,0 +1,27 @@
+//! # pfp-math
+//!
+//! Minimal, dependency-light numerical substrate for the patient-flow
+//! workspace.
+//!
+//! The paper's learning problem is a pair of multinomial logistic regressions
+//! over a shared parameter matrix `Θ ∈ R^{M×(C+D)}` with sparse binary-ish
+//! feature vectors.  Everything needed for that — a dense row-major matrix, a
+//! sparse feature vector, numerically-stable softmax, and descriptive
+//! statistics for the cohort analysis — is implemented here from scratch, as
+//! the Rust stats/optimisation crate ecosystem for this niche is thin.
+//!
+//! Modules:
+//! * [`dense`] — row-major `Matrix` and dense vector helpers.
+//! * [`sparse`] — `SparseVec`, a sorted sparse vector with f64 values.
+//! * [`softmax`] — log-sum-exp, stable softmax, categorical cross-entropy.
+//! * [`stats`] — mean/variance, Pearson correlation, histograms, argmax.
+//! * [`rng`] — seeded sampling helpers (categorical, Bernoulli, Gaussian).
+
+pub mod dense;
+pub mod rng;
+pub mod softmax;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::Matrix;
+pub use sparse::SparseVec;

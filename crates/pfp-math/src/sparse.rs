@@ -1,0 +1,305 @@
+//! Sparse feature vectors.
+//!
+//! EHR feature vectors are extremely sparse — a patient receives a handful of
+//! treatments out of thousands of possible items — so the DMCP feature map
+//! `f_t` is represented as a sorted list of `(index, value)` pairs.  Binary
+//! indicator vectors are the special case where every value is `1.0`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::Matrix;
+
+/// A sparse vector with sorted, unique indices.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Empty sparse vector of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from parallel `(index, value)` lists.
+    ///
+    /// Indices are sorted, duplicates are summed, explicit zeros are removed.
+    pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let mut pairs: Vec<(u32, f64)> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!((i as usize) < dim, "index {i} out of bounds for dim {dim}");
+            if let Some(&last) = indices.last() {
+                if last == i {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        let mut out = Self { dim, indices, values };
+        out.prune_zeros();
+        out
+    }
+
+    /// Build a binary indicator vector from a set of active indices.
+    pub fn binary(dim: usize, active: impl IntoIterator<Item = u32>) -> Self {
+        Self::from_pairs(dim, active.into_iter().map(|i| (i, 1.0)))
+    }
+
+    /// Dimensionality of the (conceptually dense) vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored nonzero entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if no nonzero entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterate `(index, value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value at `index` (zero when absent).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Add `value` at `index` (inserting if absent).
+    pub fn add(&mut self, index: u32, value: f64) {
+        assert!((index as usize) < self.dim, "index {index} out of bounds");
+        match self.indices.binary_search(&index) {
+            Ok(pos) => self.values[pos] += value,
+            Err(pos) => {
+                self.indices.insert(pos, index);
+                self.values.insert(pos, value);
+            }
+        }
+    }
+
+    /// Remove stored entries that are exactly zero.
+    pub fn prune_zeros(&mut self) {
+        let mut keep_idx = Vec::with_capacity(self.indices.len());
+        let mut keep_val = Vec::with_capacity(self.values.len());
+        for (i, v) in self.indices.iter().zip(self.values.iter()) {
+            if *v != 0.0 {
+                keep_idx.push(*i);
+                keep_val.push(*v);
+            }
+        }
+        self.indices = keep_idx;
+        self.values = keep_val;
+    }
+
+    /// Dot product with a dense slice of length `dim`.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        debug_assert_eq!(dense.len(), self.dim);
+        self.iter().map(|(i, v)| v * dense[i as usize]).sum()
+    }
+
+    /// Dot product with another sparse vector (same dimensionality).
+    pub fn dot_sparse(&self, other: &SparseVec) -> f64 {
+        debug_assert_eq!(self.dim, other.dim);
+        let mut acc = 0.0;
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[a] * other.values[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// `self += alpha * other`, merging index sets.
+    pub fn add_scaled(&mut self, other: &SparseVec, alpha: f64) {
+        debug_assert_eq!(self.dim, other.dim);
+        for (i, v) in other.iter() {
+            self.add(i, alpha * v);
+        }
+    }
+
+    /// Sum of stored values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Euclidean norm of the vector.
+    pub fn l2_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Densify into a `Vec<f64>` of length `dim`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Accumulate `out[k] += Σ_i value_i · theta[row_i][k]`, i.e. the per-class
+    /// linear scores `Θ⊤ f` for a parameter matrix with `dim` rows.
+    ///
+    /// # Panics
+    /// Panics (debug) if `theta.rows() != dim` or `out.len() != theta.cols()`.
+    pub fn accumulate_scores(&self, theta: &Matrix, out: &mut [f64]) {
+        debug_assert_eq!(theta.rows(), self.dim);
+        debug_assert_eq!(out.len(), theta.cols());
+        for (i, v) in self.iter() {
+            theta.axpy_row_into(i as usize, v, out);
+        }
+    }
+
+    /// Scatter `grad[row_i][k] += value_i · contrib[k]` for every stored
+    /// entry — the gradient update of a log-linear model for one sample.
+    pub fn scatter_gradient(&self, contrib: &[f64], grad: &mut Matrix) {
+        debug_assert_eq!(grad.rows(), self.dim);
+        debug_assert_eq!(contrib.len(), grad.cols());
+        for (i, v) in self.iter() {
+            grad.add_scaled_to_row(i as usize, v, contrib);
+        }
+    }
+
+    /// Concatenate two sparse vectors: `self` occupies dimensions
+    /// `[0, self.dim)` and `other` is shifted by `self.dim`.
+    pub fn concat(&self, other: &SparseVec) -> SparseVec {
+        let dim = self.dim + other.dim;
+        let mut indices = self.indices.clone();
+        let mut values = self.values.clone();
+        indices.extend(other.indices.iter().map(|&i| i + self.dim as u32));
+        values.extend(other.values.iter().copied());
+        SparseVec { dim, indices, values }
+    }
+
+    /// Multiply every stored value by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> SparseVec {
+        let mut out = self.clone();
+        out.values.iter_mut().for_each(|v| *v *= alpha);
+        out.prune_zeros();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges_duplicates() {
+        let v = SparseVec::from_pairs(10, vec![(5, 1.0), (2, 2.0), (5, 3.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(2), 2.0);
+        assert_eq!(v.get(5), 4.0);
+        assert_eq!(v.get(7), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_drops_explicit_zeros() {
+        let v = SparseVec::from_pairs(4, vec![(1, 0.0), (2, 3.0)]);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_pairs_rejects_out_of_range_index() {
+        let _ = SparseVec::from_pairs(3, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn binary_constructor_sets_ones() {
+        let v = SparseVec::binary(6, vec![0, 3, 5]);
+        assert_eq!(v.to_dense(), vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_dense_matches_dense_computation() {
+        let v = SparseVec::from_pairs(4, vec![(0, 2.0), (3, -1.0)]);
+        let d = vec![1.0, 10.0, 100.0, 4.0];
+        assert_eq!(v.dot_dense(&d), 2.0 - 4.0);
+    }
+
+    #[test]
+    fn dot_sparse_intersects_indices() {
+        let a = SparseVec::from_pairs(5, vec![(0, 1.0), (2, 2.0), (4, 3.0)]);
+        let b = SparseVec::from_pairs(5, vec![(2, 5.0), (3, 7.0), (4, 1.0)]);
+        assert_eq!(a.dot_sparse(&b), 2.0 * 5.0 + 3.0 * 1.0);
+    }
+
+    #[test]
+    fn add_scaled_merges_and_sums() {
+        let mut a = SparseVec::from_pairs(5, vec![(1, 1.0)]);
+        let b = SparseVec::from_pairs(5, vec![(1, 2.0), (3, 4.0)]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.get(1), 2.0);
+        assert_eq!(a.get(3), 2.0);
+    }
+
+    #[test]
+    fn accumulate_scores_equals_dense_matvec_t() {
+        let theta = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let f = SparseVec::from_pairs(3, vec![(0, 1.0), (2, 2.0)]);
+        let mut scores = vec![0.0, 0.0];
+        f.accumulate_scores(&theta, &mut scores);
+        let dense = theta.matvec_t(&f.to_dense());
+        assert_eq!(scores, dense);
+    }
+
+    #[test]
+    fn scatter_gradient_updates_only_active_rows() {
+        let mut grad = Matrix::zeros(3, 2);
+        let f = SparseVec::from_pairs(3, vec![(1, 2.0)]);
+        f.scatter_gradient(&[0.5, -1.0], &mut grad);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert_eq!(grad.row(1), &[1.0, -2.0]);
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_shifts_indices() {
+        let a = SparseVec::binary(3, vec![1]);
+        let b = SparseVec::binary(2, vec![0]);
+        let c = a.concat(&b);
+        assert_eq!(c.dim(), 5);
+        assert_eq!(c.to_dense(), vec![0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn scaled_multiplies_values_and_prunes() {
+        let v = SparseVec::from_pairs(3, vec![(0, 2.0), (1, 4.0)]);
+        let s = v.scaled(0.0);
+        assert!(s.is_empty());
+        let s2 = v.scaled(0.5);
+        assert_eq!(s2.get(1), 2.0);
+    }
+
+    #[test]
+    fn l2_norm_and_sum() {
+        let v = SparseVec::from_pairs(5, vec![(0, 3.0), (4, 4.0)]);
+        assert!((v.l2_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(v.sum(), 7.0);
+    }
+}

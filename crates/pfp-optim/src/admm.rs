@@ -1,0 +1,282 @@
+//! ADMM driver for `min_Θ  L(Θ) + γ ‖Θ‖_{1,2}` (Algorithm 1 of the paper).
+//!
+//! The problem is split as `min L(Θ) + γ‖X‖_{1,2}  s.t.  Θ = X` and solved by
+//! alternating:
+//!
+//! 1. **Θ-update** — a few gradient-descent steps on the augmented Lagrangian
+//!    `L(Θ) + (ρ/2)‖Θ − X + Y‖²_F` (Eq. 8),
+//! 2. **X-update** — the row-wise group soft-threshold `prox_{γ/ρ}` (Eq. 10),
+//! 3. **Y-update** — dual ascent `Y ← Y + (Θ − X)` (Eq. 11),
+//!
+//! until the relative change of Θ falls below the tolerance.
+
+use pfp_math::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::gd::LearningRate;
+use crate::prox::prox_group_lasso;
+
+/// A smooth (differentiable) objective over a parameter matrix.
+pub trait SmoothObjective {
+    /// Objective value at `theta`.
+    fn value(&self, theta: &Matrix) -> f64;
+    /// Gradient at `theta`, written into `grad` (same shape, pre-zeroed by the
+    /// caller is *not* assumed — implementations must overwrite it fully).
+    fn gradient(&self, theta: &Matrix, grad: &mut Matrix);
+    /// Parameter shape `(rows, cols)`.
+    fn shape(&self) -> (usize, usize);
+}
+
+/// ADMM hyper-parameters (defaults follow Section 4.4 of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdmmConfig {
+    /// Group-lasso weight γ.
+    pub gamma: f64,
+    /// Augmented-Lagrangian weight ρ.
+    pub rho: f64,
+    /// Learning rate for the inner gradient descent.
+    pub learning_rate: LearningRate,
+    /// Maximum inner (Θ-update) iterations per outer iteration.
+    pub max_inner_iters: usize,
+    /// Maximum outer ADMM iterations.
+    pub max_outer_iters: usize,
+    /// Relative-change stopping tolerance ε (paper: 0.01).
+    pub tolerance: f64,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 1.0,
+            rho: 1.0,
+            learning_rate: LearningRate::paper_default(),
+            max_inner_iters: 30,
+            max_outer_iters: 50,
+            tolerance: 1e-2,
+        }
+    }
+}
+
+/// Output of the ADMM driver.
+#[derive(Debug, Clone)]
+pub struct AdmmResult {
+    /// Final smooth iterate Θ.
+    pub theta: Matrix,
+    /// Final auxiliary iterate X (has exact zero rows — use for selection).
+    pub x: Matrix,
+    /// Objective trace `L(Θ) + γ‖X‖_{1,2}` per outer iteration.
+    pub objective_trace: Vec<f64>,
+    /// Number of outer iterations performed.
+    pub outer_iterations: usize,
+    /// Whether the relative-change criterion was met before the cap.
+    pub converged: bool,
+}
+
+/// Run ADMM with group-lasso regularisation starting from `theta0`.
+pub fn solve_group_lasso<O: SmoothObjective>(
+    objective: &O,
+    theta0: Matrix,
+    config: &AdmmConfig,
+) -> AdmmResult {
+    assert_eq!(theta0.shape(), objective.shape(), "theta0 shape mismatch");
+    assert!(config.gamma >= 0.0, "gamma must be non-negative");
+    assert!(config.rho > 0.0, "rho must be positive");
+
+    let (rows, cols) = objective.shape();
+    let mut theta = theta0;
+    let mut x = theta.clone();
+    let mut y = Matrix::zeros(rows, cols);
+    let mut grad = Matrix::zeros(rows, cols);
+
+    let mut trace = Vec::with_capacity(config.max_outer_iters + 1);
+    trace.push(objective.value(&theta) + config.gamma * x.l12_norm());
+
+    let mut converged = false;
+    let mut outer_done = 0;
+    for outer in 0..config.max_outer_iters {
+        let theta_prev = theta.clone();
+
+        // --- Θ-update: gradient descent on the augmented Lagrangian ---
+        let mut inner_prev = theta.clone();
+        for inner in 0..config.max_inner_iters {
+            objective.gradient(&theta, &mut grad);
+            // ∇ of (ρ/2)‖Θ − X + Y‖² is ρ(Θ − X + Y).
+            let step = config.learning_rate.at(inner);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let aug = config.rho * (theta.get(r, c) - x.get(r, c) + y.get(r, c));
+                    theta.add_at(r, c, -step * (grad.get(r, c) + aug));
+                }
+            }
+            let rel = theta.relative_change(&inner_prev);
+            if rel < config.tolerance {
+                break;
+            }
+            inner_prev = theta.clone();
+        }
+
+        // --- X-update: group soft-threshold of Θ + Y ---
+        let v = theta.add(&y);
+        x = prox_group_lasso(&v, config.gamma / config.rho);
+
+        // --- Y-update: dual ascent ---
+        let residual = theta.sub(&x);
+        y.add_scaled(&residual, 1.0);
+
+        trace.push(objective.value(&theta) + config.gamma * x.l12_norm());
+        outer_done = outer + 1;
+        if theta.relative_change(&theta_prev) < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    AdmmResult { theta, x, objective_trace: trace, outer_iterations: outer_done, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_math::dense::dot;
+
+    /// ½‖Θ − T‖²_F with a known target T — the prox-friendly test problem.
+    struct QuadraticToTarget {
+        target: Matrix,
+    }
+
+    impl SmoothObjective for QuadraticToTarget {
+        fn value(&self, theta: &Matrix) -> f64 {
+            0.5 * theta.sub(&self.target).frobenius_norm_sq()
+        }
+        fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
+            let diff = theta.sub(&self.target);
+            grad.fill(0.0);
+            grad.add_scaled(&diff, 1.0);
+        }
+        fn shape(&self) -> (usize, usize) {
+            self.target.shape()
+        }
+    }
+
+    /// Tiny two-class logistic regression on linearly separable data.
+    struct TinyLogistic {
+        xs: Vec<Vec<f64>>,
+        ys: Vec<usize>,
+        dims: usize,
+    }
+
+    impl SmoothObjective for TinyLogistic {
+        fn value(&self, theta: &Matrix) -> f64 {
+            let mut loss = 0.0;
+            for (x, &y) in self.xs.iter().zip(self.ys.iter()) {
+                let scores: Vec<f64> = (0..2).map(|k| {
+                    let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
+                    dot(x, &col)
+                }).collect();
+                loss += pfp_math::softmax::cross_entropy(&scores, y);
+            }
+            loss
+        }
+        fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
+            grad.fill(0.0);
+            for (x, &y) in self.xs.iter().zip(self.ys.iter()) {
+                let scores: Vec<f64> = (0..2).map(|k| {
+                    let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
+                    dot(x, &col)
+                }).collect();
+                let p = pfp_math::softmax::softmax(&scores);
+                for k in 0..2 {
+                    let coef = p[k] - if k == y { 1.0 } else { 0.0 };
+                    for m in 0..self.dims {
+                        grad.add_at(m, k, coef * x[m]);
+                    }
+                }
+            }
+        }
+        fn shape(&self) -> (usize, usize) {
+            (self.dims, 2)
+        }
+    }
+
+    fn fast_config(gamma: f64) -> AdmmConfig {
+        AdmmConfig {
+            gamma,
+            rho: 1.0,
+            learning_rate: LearningRate::Constant(0.1),
+            max_inner_iters: 50,
+            max_outer_iters: 100,
+            tolerance: 1e-4,
+        }
+    }
+
+    #[test]
+    fn without_regulariser_admm_recovers_the_target() {
+        let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
+        let obj = QuadraticToTarget { target: target.clone() };
+        let res = solve_group_lasso(&obj, Matrix::zeros(3, 2), &fast_config(0.0));
+        assert!(res.theta.sub(&target).frobenius_norm() < 1e-2, "diff = {}", res.theta.sub(&target).frobenius_norm());
+    }
+
+    #[test]
+    fn strong_regulariser_zeroes_weak_rows() {
+        // Row 0 is strong, row 1 is weak — the group lasso should kill row 1.
+        let target = Matrix::from_vec(2, 2, vec![5.0, 5.0, 0.2, 0.2]);
+        let obj = QuadraticToTarget { target };
+        let res = solve_group_lasso(&obj, Matrix::zeros(2, 2), &fast_config(1.0));
+        assert_eq!(res.x.row(1), &[0.0, 0.0], "weak row should be suppressed");
+        assert!(res.x.row_l2_norm(0) > 3.0, "strong row should survive");
+    }
+
+    #[test]
+    fn prox_solution_matches_analytic_group_lasso_answer() {
+        // For ½‖Θ − T‖² + γ‖Θ‖_{1,2}, the optimum is the group soft-threshold
+        // of T with τ = γ.  ADMM (consensus form) should land close to it.
+        let target = Matrix::from_vec(2, 2, vec![3.0, 4.0, 1.0, 0.0]);
+        let gamma = 1.0;
+        let analytic = crate::prox::prox_group_lasso(&target, gamma);
+        let obj = QuadraticToTarget { target };
+        let res = solve_group_lasso(&obj, Matrix::zeros(2, 2), &fast_config(gamma));
+        assert!(res.x.sub(&analytic).frobenius_norm() < 0.05,
+            "x = {:?}, analytic = {:?}", res.x, analytic);
+    }
+
+    #[test]
+    fn objective_trace_decreases_overall() {
+        let target = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 / 3.0).collect());
+        let obj = QuadraticToTarget { target };
+        let res = solve_group_lasso(&obj, Matrix::zeros(4, 3), &fast_config(0.5));
+        let first = res.objective_trace[0];
+        let last = *res.objective_trace.last().unwrap();
+        assert!(last < first, "{last} !< {first}");
+    }
+
+    #[test]
+    fn logistic_problem_separates_classes() {
+        let xs = vec![
+            vec![1.0, 2.0, 0.0],
+            vec![1.0, 1.5, 0.0],
+            vec![1.0, -2.0, 0.0],
+            vec![1.0, -1.0, 0.0],
+        ];
+        let ys = vec![0, 0, 1, 1];
+        let obj = TinyLogistic { xs: xs.clone(), ys: ys.clone(), dims: 3 };
+        let res = solve_group_lasso(&obj, Matrix::zeros(3, 2), &fast_config(0.01));
+        // Predictions should match the labels.
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let scores: Vec<f64> = (0..2)
+                .map(|k| (0..3).map(|m| res.theta.get(m, k) * x[m]).sum())
+                .collect();
+            assert_eq!(pfp_math::softmax::argmax(&scores), y);
+        }
+        // Feature 2 is pure noise (always zero) — its row should be ~zero in X.
+        assert!(res.x.row_l2_norm(2) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn rejects_non_positive_rho() {
+        let obj = QuadraticToTarget { target: Matrix::zeros(1, 1) };
+        let cfg = AdmmConfig { rho: 0.0, ..fast_config(0.1) };
+        let _ = solve_group_lasso(&obj, Matrix::zeros(1, 1), &cfg);
+    }
+}

@@ -1,0 +1,19 @@
+//! # pfp-optim
+//!
+//! Optimisation substrate for the discriminative learning algorithm of the
+//! paper (Algorithm 1): plain gradient descent with an `O(1/k)` step-size
+//! decay for the smooth sub-problem, the row-wise group-lasso proximal
+//! operator for the `ℓ_{1,2}` regulariser, and an ADMM driver tying the two
+//! together.
+//!
+//! The crate is written against a small [`SmoothObjective`] trait so that the
+//! same ADMM driver can be reused by the DMCP trainer, the ablation
+//! experiments and the unit tests (which use simple quadratic and logistic
+//! objectives with known solutions).
+
+pub mod admm;
+pub mod gd;
+pub mod prox;
+
+pub use admm::{AdmmConfig, AdmmResult, SmoothObjective};
+pub use gd::LearningRate;

@@ -1,0 +1,201 @@
+//! Ogata thinning simulation of multivariate conditional intensities.
+//!
+//! The synthetic cohort generator draws ground-truth transition sequences from
+//! a mutually-correcting process; Figure 3 needs sample paths of every kernel
+//! family.  Both use the classic thinning algorithm: propose candidate times
+//! from a homogeneous dominating rate, accept with probability
+//! `λ_total(t)/λ̄`, and pick the mark proportionally to the per-mark
+//! intensities at the accepted time.
+//!
+//! The mutually-correcting and self-correcting families have intensities that
+//! *grow* between events (through `g(t)`), so no global dominating rate
+//! exists.  The simulator therefore re-computes a local bound over a short
+//! look-ahead window and rejects proposals that overshoot the window, which
+//! keeps the thinning argument valid as long as the intensity is
+//! non-decreasing between events within the window; a safety factor guards the
+//! (mild) non-monotone case of the Gaussian kernel.
+
+use rand::Rng;
+
+use crate::event::{Event, EventSequence};
+use crate::kernels::ParametricIntensity;
+
+/// Configuration of the thinning simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ThinningConfig {
+    /// Length of the look-ahead window used for the local dominating rate.
+    pub window: f64,
+    /// Multiplicative safety factor on the local bound.
+    pub safety: f64,
+    /// Hard cap on the number of events (guards runaway explosive processes).
+    pub max_events: usize,
+}
+
+impl Default for ThinningConfig {
+    fn default() -> Self {
+        Self { window: 1.0, safety: 1.5, max_events: 10_000 }
+    }
+}
+
+/// Simulate one sample path of `intensity` on `(0, horizon]`.
+pub fn simulate(
+    intensity: &ParametricIntensity,
+    horizon: f64,
+    rng: &mut impl Rng,
+    config: &ThinningConfig,
+) -> EventSequence {
+    assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+    let mut events: Vec<Event> = Vec::new();
+    let mut t = 0.0_f64;
+
+    while t < horizon && events.len() < config.max_events {
+        let window_end = (t + config.window).min(horizon);
+        // Local dominating rate: sample the intensity at both ends of the
+        // window and take the max, inflated by the safety factor.
+        let lambda_now = intensity.total_intensity(t + 1e-9, &events);
+        let lambda_end = intensity.total_intensity(window_end, &events);
+        let bound = (lambda_now.max(lambda_end) * config.safety).max(1e-9);
+
+        let dt = -(rng.gen::<f64>().max(1e-300)).ln() / bound;
+        let candidate = t + dt;
+        if candidate > window_end {
+            // No event in this window under the dominating rate; move to the
+            // window end and try again with a fresh bound.
+            t = window_end;
+            continue;
+        }
+        t = candidate;
+        let lambdas = intensity.intensities(t, &events);
+        let total: f64 = lambdas.iter().sum();
+        if rng.gen::<f64>() * bound <= total {
+            let mark = pfp_math::rng::sample_categorical(rng, &lambdas);
+            events.push(Event::new(t, mark));
+        }
+    }
+
+    EventSequence::new(events, horizon, intensity.num_marks())
+}
+
+/// Simulate a homogeneous multivariate Poisson process with the given rates —
+/// a cheap special case used by tests and by the cohort generator for
+/// low-frequency auxiliary events.
+pub fn simulate_homogeneous_poisson(
+    rates: &[f64],
+    horizon: f64,
+    rng: &mut impl Rng,
+) -> EventSequence {
+    assert!(!rates.is_empty(), "at least one rate required");
+    assert!(rates.iter().all(|&r| r >= 0.0), "rates must be non-negative");
+    let total: f64 = rates.iter().sum();
+    let mut events = Vec::new();
+    if total > 0.0 {
+        let mut t = 0.0;
+        loop {
+            t += -(rng.gen::<f64>().max(1e-300)).ln() / total;
+            if t > horizon {
+                break;
+            }
+            let mark = pfp_math::rng::sample_categorical(rng, rates);
+            events.push(Event::new(t, mark));
+        }
+    }
+    EventSequence::new(events, horizon, rates.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelKind;
+    use pfp_math::rng::seeded_rng;
+    use pfp_math::Matrix;
+
+    #[test]
+    fn homogeneous_poisson_count_matches_rate() {
+        let mut rng = seeded_rng(11);
+        let horizon = 2000.0;
+        let seq = simulate_homogeneous_poisson(&[0.5], horizon, &mut rng);
+        let rate = seq.len() as f64 / horizon;
+        assert!((rate - 0.5).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn homogeneous_poisson_mark_proportions_follow_rates() {
+        let mut rng = seeded_rng(12);
+        let seq = simulate_homogeneous_poisson(&[1.0, 3.0], 3000.0, &mut rng);
+        let counts = seq.mark_counts();
+        let p1 = counts[1] as f64 / seq.len() as f64;
+        assert!((p1 - 0.75).abs() < 0.03, "p1 = {p1}");
+    }
+
+    #[test]
+    fn homogeneous_poisson_with_zero_rates_is_empty() {
+        let mut rng = seeded_rng(13);
+        let seq = simulate_homogeneous_poisson(&[0.0, 0.0], 100.0, &mut rng);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn thinning_of_constant_intensity_matches_poisson_rate() {
+        // Modulated Poisson with beta = 0 is a homogeneous Poisson process.
+        let pi = ParametricIntensity::new(
+            KernelKind::ModulatedPoisson,
+            vec![0.8],
+            Matrix::zeros(1, 1),
+        );
+        let mut rng = seeded_rng(14);
+        let horizon = 1500.0;
+        let cfg = ThinningConfig { max_events: 100_000, ..Default::default() };
+        let seq = simulate(&pi, horizon, &mut rng, &cfg);
+        let rate = seq.len() as f64 / horizon;
+        assert!((rate - 0.8).abs() < 0.08, "rate = {rate}");
+    }
+
+    #[test]
+    fn thinning_produces_sorted_events_within_horizon() {
+        let pi = ParametricIntensity::new(
+            KernelKind::MutuallyCorrecting { sigma: 2.0 },
+            vec![0.2, 0.3],
+            Matrix::from_vec(2, 2, vec![0.1, -0.3, -0.2, 0.1]),
+        );
+        let mut rng = seeded_rng(15);
+        let seq = simulate(&pi, 50.0, &mut rng, &ThinningConfig::default());
+        let mut prev = 0.0;
+        for e in seq.events() {
+            assert!(e.time >= prev && e.time <= 50.0);
+            assert!(e.mark < 2);
+            prev = e.time;
+        }
+    }
+
+    #[test]
+    fn thinning_respects_max_events_cap() {
+        let pi = ParametricIntensity::new(
+            KernelKind::ModulatedPoisson,
+            vec![100.0],
+            Matrix::zeros(1, 1),
+        );
+        let mut rng = seeded_rng(16);
+        let cfg = ThinningConfig { max_events: 50, ..Default::default() };
+        let seq = simulate(&pi, 1000.0, &mut rng, &cfg);
+        assert_eq!(seq.len(), 50);
+    }
+
+    #[test]
+    fn self_correcting_simulation_is_more_regular_than_poisson() {
+        // The coefficient of variation of inter-event times of a
+        // self-correcting process is below 1 (more regular than Poisson).
+        let pi = ParametricIntensity::new(
+            KernelKind::SelfCorrecting,
+            vec![1.0],
+            Matrix::from_vec(1, 1, vec![1.0]),
+        );
+        let mut rng = seeded_rng(17);
+        let cfg = ThinningConfig { window: 0.5, ..Default::default() };
+        let seq = simulate(&pi, 300.0, &mut rng, &cfg);
+        assert!(seq.len() > 50);
+        let gaps = seq.inter_event_times();
+        let mean = pfp_math::stats::mean(&gaps);
+        let cv = pfp_math::stats::std_dev(&gaps) / mean;
+        assert!(cv < 0.9, "cv = {cv}");
+    }
+}

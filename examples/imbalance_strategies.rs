@@ -1,0 +1,46 @@
+//! Rare-unit prediction scenario: compare the three imbalance strategies of
+//! Section 3.3 (weighted data, hierarchical cascade, synthetic oversampling)
+//! on the rarely-visited units (ACU, FICU, TSICU), where plain training
+//! collapses onto the majority classes.
+//!
+//! ```text
+//! cargo run --example imbalance_strategies --release
+//! ```
+
+use patient_flow::baselines::predictor::HierarchicalPredictor;
+use patient_flow::baselines::{DmcpPredictor, FlowPredictor, MethodId};
+use patient_flow::core::TrainConfig;
+use patient_flow::ehr::departments::CareUnit;
+use patient_flow::ehr::{generate_cohort, CohortConfig};
+use patient_flow::eval::dataset::build_dataset;
+use patient_flow::eval::metrics::evaluate;
+
+fn main() {
+    let cohort = generate_cohort(&CohortConfig::small(21));
+    let dataset = build_dataset(&cohort);
+    let (train, test) = dataset.split_holdout(0.15, 21);
+    let base = TrainConfig::paper_default();
+
+    let rare_units = [CareUnit::Acu, CareUnit::Ficu, CareUnit::Tsicu];
+
+    let variants: Vec<(&str, Box<dyn FlowPredictor>)> = vec![
+        ("DMCP  (no pre-processing)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Dmcp))),
+        ("WDMCP (weighted data)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Wdmcp))),
+        ("HDMCP (hierarchical)", Box::new(HierarchicalPredictor::train(&train, &base))),
+        ("SDMCP (synthetic data)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Sdmcp))),
+    ];
+
+    println!("{:<28} {:>8} {:>8} {:>8}   {:>8} {:>8}", "variant", "ACU", "FICU", "TSICU", "AC_C", "AC_D");
+    for (name, predictor) in &variants {
+        let report = evaluate(predictor.as_ref(), &test);
+        print!("{name:<28}");
+        for unit in rare_units {
+            print!(" {:>8.3}", report.per_cu[unit.index()]);
+        }
+        println!("   {:>8.3} {:>8.3}", report.overall_cu, report.overall_duration);
+    }
+    println!(
+        "\nThe paper's finding: synthetic oversampling (SDMCP) lifts the rare units without\n\
+         sacrificing the majority classes, while weighting/hierarchical trade one for the other."
+    );
+}

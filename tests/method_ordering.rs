@@ -1,0 +1,69 @@
+//! Qualitative-ordering integration tests: the *shape* of the paper's results
+//! (which method families win) should hold on the synthetic cohort, even if
+//! absolute numbers differ.
+
+use patient_flow::baselines::MethodId;
+use patient_flow::ehr::{generate_cohort, CohortConfig};
+use patient_flow::eval::dataset::build_dataset;
+use patient_flow::eval::experiments::{feature_map_ablation, method_comparison, ComparisonConfig};
+
+fn overall_cu(results: &[patient_flow::eval::experiments::MethodResult], m: MethodId) -> f64 {
+    results.iter().find(|r| r.method == m).unwrap().accuracy.overall_cu
+}
+
+#[test]
+fn feature_aware_methods_beat_feature_free_methods_on_destination_accuracy() {
+    let cohort = generate_cohort(&CohortConfig::small(301));
+    let dataset = build_dataset(&cohort);
+    let config = ComparisonConfig::fast(301);
+    let results = method_comparison(
+        &dataset,
+        &[MethodId::Mc, MethodId::Ctmc, MethodId::Lr, MethodId::Dmcp],
+        &config,
+    );
+
+    let mc = overall_cu(&results, MethodId::Mc);
+    let ctmc = overall_cu(&results, MethodId::Ctmc);
+    let lr = overall_cu(&results, MethodId::Lr);
+    let dmcp = overall_cu(&results, MethodId::Dmcp);
+
+    assert!(lr >= mc - 0.02, "LR ({lr:.3}) should not lose to MC ({mc:.3})");
+    assert!(dmcp >= ctmc - 0.02, "DMCP ({dmcp:.3}) should not lose to CTMC ({ctmc:.3})");
+    assert!(dmcp >= mc - 0.02, "DMCP ({dmcp:.3}) should not lose to MC ({mc:.3})");
+}
+
+#[test]
+fn dmcp_feature_map_is_at_least_as_good_as_the_simpler_maps() {
+    let cohort = generate_cohort(&CohortConfig::small(302));
+    let dataset = build_dataset(&cohort);
+    let config = ComparisonConfig::fast(302);
+    let ablation = feature_map_ablation(&dataset, &config);
+
+    let get = |m: MethodId| ablation.rows.iter().find(|(mm, _, _)| *mm == m).unwrap();
+    let (_, lr_cu, _) = get(MethodId::Lr);
+    let (_, dmcp_cu, dmcp_dur) = get(MethodId::Dmcp);
+
+    // History-aware DMCP should at least match the history-free LR map.
+    assert!(
+        *dmcp_cu >= lr_cu - 0.03,
+        "DMCP destination accuracy {dmcp_cu:.3} should not fall below LR {lr_cu:.3}"
+    );
+    assert!(*dmcp_dur > 0.1, "duration head should learn something: {dmcp_dur:.3}");
+}
+
+#[test]
+fn census_error_of_dmcp_is_not_worse_than_feature_free_baselines() {
+    let cohort = generate_cohort(&CohortConfig::small(303));
+    let dataset = build_dataset(&cohort);
+    let config = ComparisonConfig::fast(303);
+    let results = method_comparison(&dataset, &[MethodId::Mc, MethodId::Var, MethodId::Sdmcp], &config);
+
+    let err = |m: MethodId| results.iter().find(|r| r.method == m).unwrap().census.overall_error;
+    assert!(
+        err(MethodId::Sdmcp) <= err(MethodId::Mc) + 0.05,
+        "SDMCP census error {:.3} should not exceed MC {:.3} by much",
+        err(MethodId::Sdmcp),
+        err(MethodId::Mc)
+    );
+    assert!(err(MethodId::Var).is_finite());
+}

@@ -1,0 +1,139 @@
+//! Property-based tests on the core numerical components, using proptest.
+
+use proptest::prelude::*;
+
+use patient_flow::core::features::{FeatureMapKind, HistoryFeaturizer, HistoryStay};
+use patient_flow::ehr::departments::{duration_class, NUM_DURATION_CLASSES};
+use patient_flow::math::dense::solve_linear_system;
+use patient_flow::math::softmax::{argmax, cross_entropy, softmax};
+use patient_flow::math::{Matrix, SparseVec};
+use patient_flow::optim::prox::{group_soft_threshold, prox_group_lasso};
+
+proptest! {
+    /// Softmax output is a probability distribution and preserves the argmax.
+    #[test]
+    fn softmax_is_a_distribution(scores in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+        let p = softmax(&scores);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert_eq!(argmax(&p), argmax(&scores));
+    }
+
+    /// Cross entropy is non-negative and shift-invariant.
+    #[test]
+    fn cross_entropy_properties(
+        scores in proptest::collection::vec(-20.0f64..20.0, 2..10),
+        shift in -10.0f64..10.0,
+    ) {
+        let target = 0usize;
+        let ce = cross_entropy(&scores, target);
+        prop_assert!(ce >= -1e-12);
+        let shifted: Vec<f64> = scores.iter().map(|s| s + shift).collect();
+        prop_assert!((cross_entropy(&shifted, target) - ce).abs() < 1e-8);
+    }
+
+    /// The group soft-threshold never increases the norm and zeroes small rows.
+    #[test]
+    fn group_soft_threshold_shrinks(
+        v in proptest::collection::vec(-100.0f64..100.0, 1..16),
+        tau in 0.0f64..50.0,
+    ) {
+        let before: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut w = v.clone();
+        group_soft_threshold(&mut w, tau);
+        let after: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(after <= before + 1e-9);
+        if before <= tau {
+            prop_assert!(w.iter().all(|&x| x == 0.0));
+        } else {
+            prop_assert!((after - (before - tau)).abs() < 1e-6);
+        }
+    }
+
+    /// The matrix prox operator is non-expansive.
+    #[test]
+    fn prox_is_non_expansive(
+        a in proptest::collection::vec(-10.0f64..10.0, 12),
+        b in proptest::collection::vec(-10.0f64..10.0, 12),
+        tau in 0.0f64..5.0,
+    ) {
+        let ma = Matrix::from_vec(4, 3, a);
+        let mb = Matrix::from_vec(4, 3, b);
+        let pa = prox_group_lasso(&ma, tau);
+        let pb = prox_group_lasso(&mb, tau);
+        prop_assert!(pa.sub(&pb).frobenius_norm() <= ma.sub(&mb).frobenius_norm() + 1e-9);
+    }
+
+    /// Sparse/dense dot products agree, and scores accumulation matches the
+    /// dense transpose-matvec.
+    #[test]
+    fn sparse_dense_agreement(
+        pairs in proptest::collection::vec((0u32..32, -5.0f64..5.0), 0..20),
+        theta_vals in proptest::collection::vec(-2.0f64..2.0, 32 * 3),
+    ) {
+        let v = SparseVec::from_pairs(32, pairs);
+        let theta = Matrix::from_vec(32, 3, theta_vals);
+        let mut scores = vec![0.0; 3];
+        v.accumulate_scores(&theta, &mut scores);
+        let dense = theta.matvec_t(&v.to_dense());
+        for (s, d) in scores.iter().zip(dense.iter()) {
+            prop_assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    /// Duration classes are always in range and monotone in the dwell time.
+    #[test]
+    fn duration_class_is_bounded_and_monotone(a in 0.01f64..40.0, b in 0.01f64..40.0) {
+        let ca = duration_class(a);
+        let cb = duration_class(b);
+        prop_assert!(ca < NUM_DURATION_CLASSES && cb < NUM_DURATION_CLASSES);
+        if a <= b {
+            prop_assert!(ca <= cb);
+        }
+    }
+
+    /// The featurizer output dimension never depends on the history content,
+    /// and every stored value is finite.
+    #[test]
+    fn featurizer_dimension_invariant(
+        profile_idx in proptest::collection::vec(0u32..16, 0..8),
+        service_idx in proptest::collection::vec(0u32..24, 0..10),
+        t_gap in 0.0f64..30.0,
+        sigma in 0.5f64..10.0,
+    ) {
+        let featurizer = HistoryFeaturizer::new(
+            FeatureMapKind::MutuallyCorrecting { sigma },
+            16,
+            24,
+        );
+        let profile = SparseVec::binary(16, profile_idx);
+        let history = vec![
+            HistoryStay { entry_time: 0.0, services: SparseVec::binary(24, service_idx.clone()) },
+            HistoryStay { entry_time: t_gap, services: SparseVec::binary(24, service_idx) },
+        ];
+        let f = featurizer.featurize(&profile, &history, t_gap + 0.5, 0.0);
+        prop_assert_eq!(f.dim(), 40);
+        for (_, v) in f.iter() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Solving a well-conditioned diagonal-dominant system reproduces A·x = b.
+    #[test]
+    fn linear_solver_residual_is_small(
+        vals in proptest::collection::vec(-1.0f64..1.0, 9),
+        x in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let mut a = Matrix::from_vec(3, 3, vals);
+        for i in 0..3 {
+            a.add_at(i, i, 5.0); // force diagonal dominance / invertibility
+        }
+        let b = a.matvec(&x);
+        let solved = solve_linear_system(&a, &b).expect("diagonally dominant systems are solvable");
+        let residual = a.matvec(&solved);
+        for (r, t) in residual.iter().zip(b.iter()) {
+            prop_assert!((r - t).abs() < 1e-6);
+        }
+    }
+}
