@@ -11,10 +11,10 @@
 //! contributes samples to both the training and test sides, and so the
 //! census-simulation experiment can replay whole held-out trajectories.
 
-use pfp_math::rng::{seeded_rng, shuffled_indices};
-use pfp_math::SparseVec;
 use pfp_ehr::departments::{NUM_CARE_UNITS, NUM_DURATION_CLASSES};
 use pfp_ehr::{Cohort, PatientRecord};
+use pfp_math::rng::{seeded_rng, shuffled_indices};
+use pfp_math::SparseVec;
 use serde::{Deserialize, Serialize};
 
 use crate::features::{FeatureMapKind, HistoryFeaturizer, HistoryStay, EVAL_OFFSET_DAYS};
@@ -117,7 +117,9 @@ impl Dataset {
 
     /// The paper's default mutually-correcting kind (σ = mean dwell time).
     pub fn default_mcp_kind(&self) -> FeatureMapKind {
-        FeatureMapKind::MutuallyCorrecting { sigma: self.mean_dwell_days.max(0.5) }
+        FeatureMapKind::MutuallyCorrecting {
+            sigma: self.mean_dwell_days.max(0.5),
+        }
     }
 
     /// Featurize every sample under `kind`.
@@ -137,15 +139,24 @@ impl Dataset {
     /// Split into `(train, test)` by patient; `test_fraction` of patients go
     /// to the test side (at least one patient on each side when possible).
     pub fn split_holdout(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test fraction must be in [0, 1)"
+        );
         let n = self.patients.len();
         let mut rng = seeded_rng(seed);
         let order = shuffled_indices(&mut rng, n);
-        let n_test = ((n as f64 * test_fraction).round() as usize).clamp(usize::from(n > 1), n.saturating_sub(1));
-        let test_ids: std::collections::HashSet<usize> =
-            order[..n_test].iter().map(|&i| self.patients[i].id).collect();
+        let n_test = ((n as f64 * test_fraction).round() as usize)
+            .clamp(usize::from(n > 1), n.saturating_sub(1));
+        let test_ids: std::collections::HashSet<usize> = order[..n_test]
+            .iter()
+            .map(|&i| self.patients[i].id)
+            .collect();
         let in_test = |pid: usize| test_ids.contains(&pid);
-        (self.filter_by_patient(|pid| !in_test(pid)), self.filter_by_patient(in_test))
+        (
+            self.filter_by_patient(|pid| !in_test(pid)),
+            self.filter_by_patient(in_test),
+        )
     }
 
     /// Split into `k` folds by patient; returns per-fold `(train, validation)`.
@@ -164,7 +175,10 @@ impl Dataset {
                 .map(|(_, &i)| self.patients[i].id)
                 .collect();
             let in_val = |pid: usize| val_ids.contains(&pid);
-            folds.push((self.filter_by_patient(|pid| !in_val(pid)), self.filter_by_patient(in_val)));
+            folds.push((
+                self.filter_by_patient(|pid| !in_val(pid)),
+                self.filter_by_patient(in_val),
+            ));
         }
         folds
     }
@@ -172,8 +186,18 @@ impl Dataset {
     /// Keep only the samples (and patients) whose patient id satisfies `keep`.
     pub fn filter_by_patient(&self, keep: impl Fn(usize) -> bool) -> Dataset {
         Dataset {
-            samples: self.samples.iter().filter(|s| keep(s.patient_id)).cloned().collect(),
-            patients: self.patients.iter().filter(|p| keep(p.id)).cloned().collect(),
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| keep(s.patient_id))
+                .cloned()
+                .collect(),
+            patients: self
+                .patients
+                .iter()
+                .filter(|p| keep(p.id))
+                .cloned()
+                .collect(),
             profile_dim: self.profile_dim,
             service_dim: self.service_dim,
             num_cus: self.num_cus,
@@ -202,15 +226,25 @@ pub fn extract_patient_samples(patient: &PatientRecord) -> Vec<RawSample> {
         let current_stay = t.from_stay;
         let history: Vec<HistoryStay> = patient.stays[..=current_stay]
             .iter()
-            .map(|s| HistoryStay { entry_time: s.entry_time, services: s.services.clone() })
+            .map(|s| HistoryStay {
+                entry_time: s.entry_time,
+                services: s.services.clone(),
+            })
             .collect();
-        let cu_history: Vec<usize> = patient.stays[..=current_stay].iter().map(|s| s.cu).collect();
+        let cu_history: Vec<usize> = patient.stays[..=current_stay]
+            .iter()
+            .map(|s| s.cu)
+            .collect();
         let prev_duration_class = if current_stay == 0 {
             None
         } else {
             Some(patient.stays[current_stay - 1].duration_class())
         };
-        let t_prev = if current_stay == 0 { 0.0 } else { patient.stays[current_stay - 1].entry_time };
+        let t_prev = if current_stay == 0 {
+            0.0
+        } else {
+            patient.stays[current_stay - 1].entry_time
+        };
         let t_eval = patient.stays[current_stay].entry_time + EVAL_OFFSET_DAYS;
         samples.push(RawSample {
             patient_id: patient.id,
@@ -277,8 +311,16 @@ mod tests {
     #[test]
     fn lr_features_are_sparser_than_mpp_features() {
         let ds = dataset();
-        let lr: usize = ds.featurize(FeatureMapKind::CurrentOnly).iter().map(|s| s.features.nnz()).sum();
-        let mpp: usize = ds.featurize(FeatureMapKind::ModulatedPoisson).iter().map(|s| s.features.nnz()).sum();
+        let lr: usize = ds
+            .featurize(FeatureMapKind::CurrentOnly)
+            .iter()
+            .map(|s| s.features.nnz())
+            .sum();
+        let mpp: usize = ds
+            .featurize(FeatureMapKind::ModulatedPoisson)
+            .iter()
+            .map(|s| s.features.nnz())
+            .sum();
         assert!(lr <= mpp);
     }
 
@@ -286,7 +328,10 @@ mod tests {
     fn holdout_split_partitions_patients() {
         let ds = dataset();
         let (train, test) = ds.split_holdout(0.25, 3);
-        assert_eq!(train.patients.len() + test.patients.len(), ds.patients.len());
+        assert_eq!(
+            train.patients.len() + test.patients.len(),
+            ds.patients.len()
+        );
         assert_eq!(train.len() + test.len(), ds.len());
         let train_ids: std::collections::HashSet<_> = train.patients.iter().map(|p| p.id).collect();
         assert!(test.patients.iter().all(|p| !train_ids.contains(&p.id)));
@@ -303,7 +348,11 @@ mod tests {
         for (train, val) in &folds {
             assert_eq!(train.patients.len() + val.patients.len(), ds.patients.len());
             for p in &val.patients {
-                assert!(seen.insert(p.id), "patient {} appeared in two validation folds", p.id);
+                assert!(
+                    seen.insert(p.id),
+                    "patient {} appeared in two validation folds",
+                    p.id
+                );
             }
         }
         assert_eq!(seen.len(), ds.patients.len());

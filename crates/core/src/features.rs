@@ -109,7 +109,11 @@ impl HistoryFeaturizer {
         if let FeatureMapKind::MutuallyCorrecting { sigma } = kind {
             assert!(sigma > 0.0, "sigma must be positive");
         }
-        Self { kind, profile_dim, service_dim }
+        Self {
+            kind,
+            profile_dim,
+            service_dim,
+        }
     }
 
     /// Total dimension `M` of the combined feature vector.
@@ -129,7 +133,9 @@ impl HistoryFeaturizer {
     /// The historical decay `h(t, τ)`.
     fn h(&self, t_eval: f64, tau: f64) -> f64 {
         match self.kind {
-            FeatureMapKind::CurrentOnly | FeatureMapKind::ModulatedPoisson | FeatureMapKind::SelfCorrecting => 1.0,
+            FeatureMapKind::CurrentOnly
+            | FeatureMapKind::ModulatedPoisson
+            | FeatureMapKind::SelfCorrecting => 1.0,
             FeatureMapKind::MutuallyCorrecting { sigma } => {
                 let z = (t_eval - tau) / sigma;
                 (-(z * z)).exp()
@@ -180,7 +186,10 @@ impl HistoryFeaturizer {
         };
         for stay in relevant {
             debug_assert_eq!(stay.services.dim(), self.service_dim);
-            debug_assert!(stay.entry_time <= t_eval + 1e-9, "history must precede t_eval");
+            debug_assert!(
+                stay.entry_time <= t_eval + 1e-9,
+                "history must precede t_eval"
+            );
             let w = self.h(t_eval, stay.entry_time);
             if w == 0.0 {
                 continue;
@@ -204,8 +213,14 @@ mod tests {
 
     fn history() -> Vec<HistoryStay> {
         vec![
-            HistoryStay { entry_time: 0.0, services: SparseVec::binary(6, vec![1]) },
-            HistoryStay { entry_time: 3.0, services: SparseVec::binary(6, vec![1, 4]) },
+            HistoryStay {
+                entry_time: 0.0,
+                services: SparseVec::binary(6, vec![1]),
+            },
+            HistoryStay {
+                entry_time: 3.0,
+                services: SparseVec::binary(6, vec![1, 4]),
+            },
         ]
     }
 
@@ -274,7 +289,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(FeatureMapKind::CurrentOnly.label(), "LR");
-        assert_eq!(FeatureMapKind::MutuallyCorrecting { sigma: 1.0 }.label(), "DMCP");
+        assert_eq!(
+            FeatureMapKind::MutuallyCorrecting { sigma: 1.0 }.label(),
+            "DMCP"
+        );
     }
 
     #[test]

@@ -26,9 +26,10 @@ use crate::loss::DmcpObjective;
 use crate::train::TrainConfig;
 
 /// Which imbalance pre-processing to apply before training.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum ImbalanceStrategy {
     /// Use the data as-is (plain DMCP).
+    #[default]
     None,
     /// Weight each sample by `1 / log(1 + #{(c, d)})` (WDMCP).
     Weighted,
@@ -40,16 +41,12 @@ pub enum ImbalanceStrategy {
     },
 }
 
-impl Default for ImbalanceStrategy {
-    fn default() -> Self {
-        ImbalanceStrategy::None
-    }
-}
-
 impl ImbalanceStrategy {
     /// Default synthetic strategy with a generous cap.
     pub fn synthetic() -> Self {
-        ImbalanceStrategy::Synthetic { cap_per_class: 5_000 }
+        ImbalanceStrategy::Synthetic {
+            cap_per_class: 5_000,
+        }
     }
 
     /// Apply the strategy: returns possibly-augmented samples and optional
@@ -68,7 +65,13 @@ impl ImbalanceStrategy {
                 (samples, Some(weights))
             }
             ImbalanceStrategy::Synthetic { cap_per_class } => {
-                let augmented = synthesize_minority_samples(samples, num_cus, num_durations, cap_per_class, seed);
+                let augmented = synthesize_minority_samples(
+                    samples,
+                    num_cus,
+                    num_durations,
+                    cap_per_class,
+                    seed,
+                );
                 (augmented, None)
             }
         }
@@ -139,7 +142,8 @@ pub fn synthesize_minority_samples(
         // Class-conditional per-dimension statistics: activation probability
         // and mean nonzero value.
         let dim = samples[members[0]].features.dim();
-        let mut active_counts: std::collections::HashMap<u32, (usize, f64)> = std::collections::HashMap::new();
+        let mut active_counts: std::collections::HashMap<u32, (usize, f64)> =
+            std::collections::HashMap::new();
         for &i in members {
             for (idx, v) in samples[i].features.iter() {
                 let e = active_counts.entry(idx).or_insert((0, 0.0));
@@ -192,6 +196,11 @@ pub struct HierarchicalHead {
 }
 
 impl HierarchicalHead {
+    /// Feature dimension the cascade was trained with.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
     /// Train the cascade on featurized samples using `label_of` to pick the
     /// head's label from a sample.
     pub fn train(
@@ -201,7 +210,10 @@ impl HierarchicalHead {
         label_of: impl Fn(&Sample) -> usize,
         config: &TrainConfig,
     ) -> Self {
-        assert!(!samples.is_empty(), "cannot train a cascade on zero samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot train a cascade on zero samples"
+        );
         let mut remaining: Vec<&Sample> = samples.iter().collect();
         let mut stages = Vec::new();
         let mut remaining_classes: Vec<usize> = {
@@ -229,7 +241,10 @@ impl HierarchicalHead {
             let objective = DmcpObjective::new(&binary, None, num_features, 2, 1);
             let theta0 = Matrix::zeros(num_features, 3);
             let res = solve_group_lasso(&objective, theta0, &config.admm_config());
-            stages.push(CascadeStage { class: majority, theta: res.theta });
+            stages.push(CascadeStage {
+                class: majority,
+                theta: res.theta,
+            });
             remaining.retain(|s| label_of(s) != majority);
             remaining_classes.remove(0);
             if remaining.is_empty() {
@@ -237,7 +252,11 @@ impl HierarchicalHead {
             }
         }
         let fallback_class = remaining_classes.first().copied().unwrap_or(0);
-        Self { stages, fallback_class, num_features }
+        Self {
+            stages,
+            fallback_class,
+            num_features,
+        }
     }
 
     /// Walk the cascade and return the predicted class.
@@ -276,15 +295,27 @@ impl HierarchicalModel {
         num_durations: usize,
         config: &TrainConfig,
     ) -> Self {
-        let cu_head = HierarchicalHead::train(samples, num_cus, num_features, |s| s.cu_label, config);
-        let duration_head =
-            HierarchicalHead::train(samples, num_durations, num_features, |s| s.duration_label, config);
-        Self { cu_head, duration_head }
+        let cu_head =
+            HierarchicalHead::train(samples, num_cus, num_features, |s| s.cu_label, config);
+        let duration_head = HierarchicalHead::train(
+            samples,
+            num_durations,
+            num_features,
+            |s| s.duration_label,
+            config,
+        );
+        Self {
+            cu_head,
+            duration_head,
+        }
     }
 
     /// Predict `(ĉ, d̂)` for a featurized sample.
     pub fn predict(&self, features: &SparseVec) -> (usize, usize) {
-        (self.cu_head.predict(features), self.duration_head.predict(features))
+        (
+            self.cu_head.predict(features),
+            self.duration_head.predict(features),
+        )
     }
 }
 
@@ -321,7 +352,10 @@ mod tests {
         assert_eq!(w.len(), samples.len());
         let majority_w = w[0];
         let minority_w = w[31];
-        assert!(minority_w > majority_w, "{minority_w} should exceed {majority_w}");
+        assert!(
+            minority_w > majority_w,
+            "{minority_w} should exceed {majority_w}"
+        );
     }
 
     #[test]
@@ -330,11 +364,17 @@ mod tests {
         let augmented = synthesize_minority_samples(samples, 2, 2, 1_000, 5);
         let counts = joint_class_counts(&augmented, 2, 2);
         assert_eq!(counts[0], 30);
-        assert_eq!(counts[3], 30, "minority class should be topped up to the majority count");
+        assert_eq!(
+            counts[3], 30,
+            "minority class should be topped up to the majority count"
+        );
         // Synthetic samples stay on the minority class's support.
         for s in augmented.iter().filter(|s| s.patient_id > 1_000) {
             for (idx, _) in s.features.iter() {
-                assert!(idx == 1 || idx == 2, "synthetic features must come from the class distribution");
+                assert!(
+                    idx == 1 || idx == 2,
+                    "synthetic features must come from the class distribution"
+                );
             }
             assert!(s.features.nnz() >= 1);
         }

@@ -24,9 +24,16 @@ pub struct JointLabelModel {
 }
 
 impl JointLabelModel {
+    /// Number of destination classes `C` (the joint head has `C·D` outputs).
+    pub fn num_cus(&self) -> usize {
+        self.num_cus
+    }
+
     /// Train the joint classifier on a raw dataset.
     pub fn train(dataset: &Dataset, config: &TrainConfig) -> Self {
-        let kind = config.feature_map.unwrap_or_else(|| dataset.default_mcp_kind());
+        let kind = config
+            .feature_map
+            .unwrap_or_else(|| dataset.default_mcp_kind());
         let samples: Vec<Sample> = dataset
             .featurize(kind)
             .into_iter()
@@ -46,7 +53,11 @@ impl JointLabelModel {
             1,
             config,
         );
-        Self { inner, num_cus: dataset.num_cus, num_durations: dataset.num_durations }
+        Self {
+            inner,
+            num_cus: dataset.num_cus,
+            num_durations: dataset.num_durations,
+        }
     }
 
     /// Predict `(ĉ, d̂)` by taking the argmax over the joint classes.

@@ -44,18 +44,33 @@ impl<'a> DmcpObjective<'a> {
         num_cus: usize,
         num_durations: usize,
     ) -> Self {
-        assert!(!samples.is_empty(), "cannot build an objective over zero samples");
-        assert!(num_cus >= 1 && num_durations >= 1, "need at least one class per head");
+        assert!(
+            !samples.is_empty(),
+            "cannot build an objective over zero samples"
+        );
+        assert!(
+            num_cus >= 1 && num_durations >= 1,
+            "need at least one class per head"
+        );
         for s in samples {
             assert_eq!(s.features.dim(), num_features, "feature dimension mismatch");
             assert!(s.cu_label < num_cus, "destination label out of range");
-            assert!(s.duration_label < num_durations, "duration label out of range");
+            assert!(
+                s.duration_label < num_durations,
+                "duration label out of range"
+            );
         }
         if let Some(w) = weights {
             assert_eq!(w.len(), samples.len(), "weights length mismatch");
             assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
         }
-        Self { samples, weights, num_features, num_cus, num_durations }
+        Self {
+            samples,
+            weights,
+            num_features,
+            num_cus,
+            num_durations,
+        }
     }
 
     /// Number of output columns `C + D`.
@@ -124,6 +139,25 @@ impl SmoothObjective for DmcpObjective<'_> {
     fn shape(&self) -> (usize, usize) {
         (self.num_features, self.num_outputs())
     }
+
+    fn row_curvature_bounds(&self) -> Option<Vec<f64>> {
+        // Per head, the Hessian w.r.t. Θ is the weighted mean of
+        // H_softmax ⊗ f fᵀ with ‖H_softmax‖ ≤ ½, so the diagonal entry for
+        // feature row r is bounded by ½ · mean_w f_r². Using it as a per-row
+        // step preconditioner is what keeps one learning-rate schedule usable
+        // across feature maps whose blocks differ in scale by the day-valued
+        // g(t) factor: binary service features keep the full step while the
+        // day-scaled profile rows get proportionally smaller ones.
+        let mut sums = vec![0.0; self.num_features];
+        for (i, s) in self.samples.iter().enumerate() {
+            let w = self.weight(i);
+            for (idx, v) in s.features.iter() {
+                sums[idx as usize] += w * v * v;
+            }
+        }
+        let norm = self.total_weight();
+        Some(sums.into_iter().map(|s| 0.5 * s / norm).collect())
+    }
 }
 
 #[cfg(test)]
@@ -135,10 +169,30 @@ mod tests {
         // Feature 0 active => class 0; feature 1 active => class 1.
         // Duration mirrors the destination.
         vec![
-            Sample { patient_id: 0, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 0 },
-            Sample { patient_id: 1, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 0 },
-            Sample { patient_id: 2, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 1 },
-            Sample { patient_id: 3, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 1 },
+            Sample {
+                patient_id: 0,
+                features: SparseVec::binary(3, vec![0]),
+                cu_label: 0,
+                duration_label: 0,
+            },
+            Sample {
+                patient_id: 1,
+                features: SparseVec::binary(3, vec![0]),
+                cu_label: 0,
+                duration_label: 0,
+            },
+            Sample {
+                patient_id: 2,
+                features: SparseVec::binary(3, vec![1]),
+                cu_label: 1,
+                duration_label: 1,
+            },
+            Sample {
+                patient_id: 3,
+                features: SparseVec::binary(3, vec![1]),
+                cu_label: 1,
+                duration_label: 1,
+            },
         ]
     }
 
@@ -218,7 +272,11 @@ mod tests {
         let mut grad = Matrix::zeros(3, 3);
         obj.gradient(&theta, &mut grad);
         for r in 0..3 {
-            assert_eq!(grad.get(r, 2), 0.0, "degenerate head must have zero gradient");
+            assert_eq!(
+                grad.get(r, 2),
+                0.0,
+                "degenerate head must have zero gradient"
+            );
         }
     }
 

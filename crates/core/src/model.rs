@@ -49,7 +49,11 @@ impl DmcpModel {
 
     /// Raw linear scores `Θ⊤ f`, split into `(destination, duration)` halves.
     pub fn scores(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
-        assert_eq!(features.dim(), self.num_features(), "feature dimension mismatch");
+        assert_eq!(
+            features.dim(),
+            self.num_features(),
+            "feature dimension mismatch"
+        );
         let mut all = vec![0.0; self.num_cus + self.num_durations];
         features.accumulate_scores(&self.theta, &mut all);
         let dur = all.split_off(self.num_cus);
@@ -59,7 +63,10 @@ impl DmcpModel {
     /// Conditional intensities `λ_c = exp(θ_c⊤ f)` and `λ_d = exp(θ_d⊤ f)`.
     pub fn intensities(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
         let (cu, dur) = self.scores(features);
-        (cu.iter().map(|x| x.exp()).collect(), dur.iter().map(|x| x.exp()).collect())
+        (
+            cu.iter().map(|x| x.exp()).collect(),
+            dur.iter().map(|x| x.exp()).collect(),
+        )
     }
 
     /// Conditional class probabilities `p(c | t, H_t)` and `p(d | t, H_t)`
@@ -83,7 +90,9 @@ impl DmcpModel {
         t_eval: f64,
         t_prev: f64,
     ) -> (usize, usize) {
-        let f = self.featurizer().featurize(profile, history, t_eval, t_prev);
+        let f = self
+            .featurizer()
+            .featurize(profile, history, t_eval, t_prev);
         self.predict(&f)
     }
 
@@ -95,7 +104,9 @@ impl DmcpModel {
         t_eval: f64,
         t_prev: f64,
     ) -> (Vec<f64>, Vec<f64>) {
-        let f = self.featurizer().featurize(profile, history, t_eval, t_prev);
+        let f = self
+            .featurizer()
+            .featurize(profile, history, t_eval, t_prev);
         self.probabilities(&f)
     }
 
@@ -120,7 +131,9 @@ impl DmcpModel {
     /// The `ℓ2` magnitude of each feature row of Θ (used by the Figure 7
     /// feature-selection analysis).
     pub fn feature_magnitudes(&self) -> Vec<f64> {
-        (0..self.theta.rows()).map(|r| self.theta.row_l2_norm(r)).collect()
+        (0..self.theta.rows())
+            .map(|r| self.theta.row_l2_norm(r))
+            .collect()
     }
 }
 
@@ -185,7 +198,10 @@ mod tests {
     fn predict_raw_goes_through_the_featurizer() {
         let m = tiny_model();
         let profile = SparseVec::binary(2, vec![0]);
-        let history = vec![HistoryStay { entry_time: 0.0, services: SparseVec::binary(2, vec![0]) }];
+        let history = vec![HistoryStay {
+            entry_time: 0.0,
+            services: SparseVec::binary(2, vec![0]),
+        }];
         let (c, d) = m.predict_raw(&profile, &history, 1.0, 0.0);
         assert!(c < 2 && d < 2);
     }

@@ -55,7 +55,10 @@ impl TrainConfig {
             feature_map: None,
             gamma: 1e-3,
             rho: 1.0,
-            learning_rate: LearningRate::InverseDecay { initial: 0.5, decay: 0.05 },
+            learning_rate: LearningRate::InverseDecay {
+                initial: 0.5,
+                decay: 0.05,
+            },
             max_inner_iters: 40,
             max_outer_iters: 30,
             tolerance: 1e-2,
@@ -124,7 +127,9 @@ impl Default for TrainConfig {
 /// Panics if the dataset contains no samples.
 pub fn train(dataset: &Dataset, config: &TrainConfig) -> DmcpModel {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-    let kind = config.feature_map.unwrap_or_else(|| dataset.default_mcp_kind());
+    let kind = config
+        .feature_map
+        .unwrap_or_else(|| dataset.default_mcp_kind());
     let samples = dataset.featurize(kind);
     train_featurized(
         samples,
@@ -150,11 +155,18 @@ pub fn train_featurized(
 ) -> DmcpModel {
     assert!(!samples.is_empty(), "cannot train on an empty sample set");
     let num_features = profile_dim + service_dim;
-    let (samples, weights) = config.imbalance.apply(samples, num_cus, num_durations, config.seed);
-    let objective =
-        DmcpObjective::new(&samples, weights.as_deref(), num_features, num_cus, num_durations);
+    let (samples, weights) = config
+        .imbalance
+        .apply(samples, num_cus, num_durations, config.seed);
+    let objective = DmcpObjective::new(
+        &samples,
+        weights.as_deref(),
+        num_features,
+        num_cus,
+        num_durations,
+    );
 
-    let mut rng = seeded_rng(config.seed ^ 0x7A1E_55);
+    let mut rng = seeded_rng(config.seed ^ 0x007A_1E55);
     let theta0 = Matrix::from_fn(num_features, num_cus + num_durations, |_, _| {
         config.init_scale * (rng.gen::<f64>() - 0.5)
     });
@@ -199,7 +211,10 @@ mod tests {
         let model = train(&ds, &config);
         let samples = ds.featurize(model.kind);
         let acc = |m: &DmcpModel| {
-            let correct = samples.iter().filter(|s| m.predict(&s.features).0 == s.cu_label).count();
+            let correct = samples
+                .iter()
+                .filter(|s| m.predict(&s.features).0 == s.cu_label)
+                .count();
             correct as f64 / samples.len() as f64
         };
         let trained_acc = acc(&model);
@@ -244,30 +259,58 @@ mod tests {
     #[test]
     fn feature_map_override_is_respected() {
         let ds = dataset();
-        let model = train(&ds, &TrainConfig::fast().with_feature_map(FeatureMapKind::CurrentOnly));
+        let model = train(
+            &ds,
+            &TrainConfig::fast().with_feature_map(FeatureMapKind::CurrentOnly),
+        );
         assert_eq!(model.kind, FeatureMapKind::CurrentOnly);
     }
 
     #[test]
     fn synthetic_strategy_trains_without_errors_and_predicts_minorities_sometimes() {
         let ds = dataset();
-        let model = train(&ds, &TrainConfig::fast().with_imbalance(ImbalanceStrategy::synthetic()));
+        let model = train(
+            &ds,
+            &TrainConfig::fast().with_imbalance(ImbalanceStrategy::synthetic()),
+        );
         // The model must at least be able to emit a non-majority class for
         // some input (the all-majority predictor is the failure mode the
         // strategy addresses).
         let samples = ds.featurize(model.kind);
-        let distinct: std::collections::HashSet<usize> =
-            samples.iter().map(|s| model.predict(&s.features).0).collect();
+        let distinct: std::collections::HashSet<usize> = samples
+            .iter()
+            .map(|s| model.predict(&s.features).0)
+            .collect();
         assert!(distinct.len() > 1, "model collapsed to a single class");
     }
 
     #[test]
     fn train_featurized_handles_hand_built_samples() {
         let samples = vec![
-            Sample { patient_id: 0, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 1 },
-            Sample { patient_id: 1, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 0 },
-            Sample { patient_id: 2, features: SparseVec::binary(3, vec![0]), cu_label: 0, duration_label: 1 },
-            Sample { patient_id: 3, features: SparseVec::binary(3, vec![1]), cu_label: 1, duration_label: 0 },
+            Sample {
+                patient_id: 0,
+                features: SparseVec::binary(3, vec![0]),
+                cu_label: 0,
+                duration_label: 1,
+            },
+            Sample {
+                patient_id: 1,
+                features: SparseVec::binary(3, vec![1]),
+                cu_label: 1,
+                duration_label: 0,
+            },
+            Sample {
+                patient_id: 2,
+                features: SparseVec::binary(3, vec![0]),
+                cu_label: 0,
+                duration_label: 1,
+            },
+            Sample {
+                patient_id: 3,
+                features: SparseVec::binary(3, vec![1]),
+                cu_label: 1,
+                duration_label: 0,
+            },
         ];
         let model = train_featurized(
             samples.clone(),

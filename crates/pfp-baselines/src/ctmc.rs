@@ -62,11 +62,20 @@ impl CtmcPredictor {
             }
             let exit_rate = exits / t;
             rates.set(i, i, -exit_rate);
-            expected_holding[i] = if exit_rate > 0.0 { 1.0 / exit_rate } else { time_in[i].max(1.0) };
+            expected_holding[i] = if exit_rate > 0.0 {
+                1.0 / exit_rate
+            } else {
+                time_in[i].max(1.0)
+            };
         }
         let total: f64 = marginal.iter().sum();
         marginal.iter_mut().for_each(|v| *v /= total);
-        Self { rates, expected_holding, marginal_destination: marginal, num_durations: dataset.num_durations }
+        Self {
+            rates,
+            expected_holding,
+            marginal_destination: marginal,
+            num_durations: dataset.num_durations,
+        }
     }
 
     /// The estimated rate matrix.
@@ -91,7 +100,13 @@ impl FlowPredictor for CtmcPredictor {
                 // Jump-chain argmax over off-diagonal rates; fall back to the
                 // marginal if the unit was never left in training.
                 let row: Vec<f64> = (0..self.rates.cols())
-                    .map(|j| if j == current { 0.0 } else { self.rates.get(current, j) })
+                    .map(|j| {
+                        if j == current {
+                            0.0
+                        } else {
+                            self.rates.get(current, j)
+                        }
+                    })
                     .collect();
                 let cu = if row.iter().all(|&v| v <= 0.0) {
                     argmax(&self.marginal_destination)
@@ -104,7 +119,10 @@ impl FlowPredictor for CtmcPredictor {
                     duration: duration_class(holding).min(self.num_durations - 1),
                 }
             }
-            None => Prediction { cu: argmax(&self.marginal_destination), duration: 0 },
+            None => Prediction {
+                cu: argmax(&self.marginal_destination),
+                duration: 0,
+            },
         }
     }
 }
@@ -166,7 +184,10 @@ mod tests {
             assert!(p.duration < ds.num_durations);
             if let Some(&current) = s.cu_history.last() {
                 if (0..ds.num_cus).any(|j| j != current && ctmc.rates().get(current, j) > 0.0) {
-                    assert_ne!(p.cu, current, "CTMC jump chain should not predict a self-loop");
+                    assert_ne!(
+                        p.cu, current,
+                        "CTMC jump chain should not predict a self-loop"
+                    );
                 }
             }
         }

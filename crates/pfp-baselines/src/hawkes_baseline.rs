@@ -30,9 +30,15 @@ impl HawkesPredictor {
             .filter(|p| p.num_transitions() > 0)
             .map(|p| p.cu_event_sequence())
             .collect();
-        assert!(!sequences.is_empty(), "need at least one non-trivial sequence to fit the HP baseline");
+        assert!(
+            !sequences.is_empty(),
+            "need at least one non-trivial sequence to fit the HP baseline"
+        );
         let fitted = MultivariateHawkes::fit(&sequences, NUM_CARE_UNITS, config);
-        Self { model: fitted.model, num_durations: dataset.num_durations }
+        Self {
+            model: fitted.model,
+            num_durations: dataset.num_durations,
+        }
     }
 
     /// The underlying Hawkes model.
@@ -96,7 +102,10 @@ mod tests {
     }
 
     fn fast_config() -> HawkesFitConfig {
-        HawkesFitConfig { max_iters: 25, ..Default::default() }
+        HawkesFitConfig {
+            max_iters: 25,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -118,7 +127,10 @@ mod tests {
         let mu = hp.model().mu();
         let gw = pfp_ehr::departments::CareUnit::Gw.index();
         let acu = pfp_ehr::departments::CareUnit::Acu.index();
-        assert!(mu[gw] > mu[acu], "GW transitions are far more common than ACU");
+        assert!(
+            mu[gw] > mu[acu],
+            "GW transitions are far more common than ACU"
+        );
     }
 
     #[test]
@@ -127,7 +139,11 @@ mod tests {
         let hp = HawkesPredictor::train(&ds, &fast_config());
         // Aggregate predictions: GW should dominate since its base rate does.
         let gw = pfp_ehr::departments::CareUnit::Gw.index();
-        let gw_share = ds.samples.iter().filter(|s| hp.predict_sample(s).cu == gw).count() as f64
+        let gw_share = ds
+            .samples
+            .iter()
+            .filter(|s| hp.predict_sample(s).cu == gw)
+            .count() as f64
             / ds.len() as f64;
         assert!(gw_share > 0.4, "GW share = {gw_share}");
     }

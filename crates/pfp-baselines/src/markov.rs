@@ -43,7 +43,11 @@ impl MarkovChain {
         }
         let total: f64 = marginal.iter().sum();
         marginal.iter_mut().for_each(|v| *v /= total);
-        Self { transition, marginal, num_states }
+        Self {
+            transition,
+            marginal,
+            num_states,
+        }
     }
 
     /// Transition probabilities out of `state`.
@@ -155,7 +159,10 @@ mod tests {
         }
         let gw = pfp_ehr::departments::CareUnit::Gw.index();
         let gw_share = counts[gw] as f64 / ds.len() as f64;
-        assert!(gw_share > 0.8, "MC should mostly predict GW, got share {gw_share}");
+        assert!(
+            gw_share > 0.8,
+            "MC should mostly predict GW, got share {gw_share}"
+        );
     }
 
     #[test]

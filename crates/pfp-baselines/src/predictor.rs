@@ -1,9 +1,9 @@
 //! The common prediction interface shared by every method in the comparison.
 
 use pfp_core::dataset::RawSample;
-use pfp_core::{DmcpModel, Dataset, TrainConfig};
 use pfp_core::features::FeatureMapKind;
 use pfp_core::imbalance::{HierarchicalModel, ImbalanceStrategy};
+use pfp_core::{Dataset, DmcpModel, TrainConfig};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a method column in the paper's tables.
@@ -110,9 +110,15 @@ impl DmcpPredictor {
     ///   corresponding imbalance strategy.
     pub fn train(dataset: &Dataset, base: &TrainConfig, method: MethodId) -> Self {
         let config = match method {
-            MethodId::Lr => base.with_feature_map(FeatureMapKind::CurrentOnly).with_gamma(0.0),
-            MethodId::Mpp => base.with_feature_map(FeatureMapKind::ModulatedPoisson).with_gamma(0.0),
-            MethodId::Scp => base.with_feature_map(FeatureMapKind::SelfCorrecting).with_gamma(0.0),
+            MethodId::Lr => base
+                .with_feature_map(FeatureMapKind::CurrentOnly)
+                .with_gamma(0.0),
+            MethodId::Mpp => base
+                .with_feature_map(FeatureMapKind::ModulatedPoisson)
+                .with_gamma(0.0),
+            MethodId::Scp => base
+                .with_feature_map(FeatureMapKind::SelfCorrecting)
+                .with_gamma(0.0),
             MethodId::Sscp => base
                 .with_feature_map(FeatureMapKind::SelfCorrecting)
                 .with_gamma(0.0)
@@ -122,7 +128,10 @@ impl DmcpPredictor {
             MethodId::Sdmcp => base.with_imbalance(ImbalanceStrategy::synthetic()),
             other => panic!("{other:?} is not a DMCP-family method"),
         };
-        Self { model: DmcpModel::train(dataset, &config), method }
+        Self {
+            model: DmcpModel::train(dataset, &config),
+            method,
+        }
     }
 
     /// Access the wrapped model (e.g. for feature-selection analysis).
@@ -137,8 +146,12 @@ impl FlowPredictor for DmcpPredictor {
     }
 
     fn predict_sample(&self, sample: &RawSample) -> Prediction {
-        let (cu, duration) =
-            self.model.predict_raw(&sample.profile, &sample.history, sample.t_eval, sample.t_prev);
+        let (cu, duration) = self.model.predict_raw(
+            &sample.profile,
+            &sample.history,
+            sample.t_eval,
+            sample.t_prev,
+        );
         Prediction { cu, duration }
     }
 }
@@ -155,7 +168,9 @@ pub struct HierarchicalPredictor {
 impl HierarchicalPredictor {
     /// Train the cascade with the DMCP feature map.
     pub fn train(dataset: &Dataset, base: &TrainConfig) -> Self {
-        let kind = base.feature_map.unwrap_or_else(|| dataset.default_mcp_kind());
+        let kind = base
+            .feature_map
+            .unwrap_or_else(|| dataset.default_mcp_kind());
         let samples = dataset.featurize(kind);
         let model = HierarchicalModel::train(
             &samples,
@@ -164,7 +179,12 @@ impl HierarchicalPredictor {
             dataset.num_durations,
             base,
         );
-        Self { model, kind, profile_dim: dataset.profile_dim, service_dim: dataset.service_dim }
+        Self {
+            model,
+            kind,
+            profile_dim: dataset.profile_dim,
+            service_dim: dataset.service_dim,
+        }
     }
 }
 
@@ -174,9 +194,17 @@ impl FlowPredictor for HierarchicalPredictor {
     }
 
     fn predict_sample(&self, sample: &RawSample) -> Prediction {
-        let featurizer =
-            pfp_core::features::HistoryFeaturizer::new(self.kind, self.profile_dim, self.service_dim);
-        let f = featurizer.featurize(&sample.profile, &sample.history, sample.t_eval, sample.t_prev);
+        let featurizer = pfp_core::features::HistoryFeaturizer::new(
+            self.kind,
+            self.profile_dim,
+            self.service_dim,
+        );
+        let f = featurizer.featurize(
+            &sample.profile,
+            &sample.history,
+            sample.t_eval,
+            sample.t_prev,
+        );
         let (cu, duration) = self.model.predict(&f);
         Prediction { cu, duration }
     }
@@ -193,7 +221,8 @@ mod tests {
 
     #[test]
     fn method_labels_are_unique_and_cover_all() {
-        let labels: std::collections::HashSet<_> = MethodId::ALL.iter().map(|m| m.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            MethodId::ALL.iter().map(|m| m.label()).collect();
         assert_eq!(labels.len(), MethodId::ALL.len());
     }
 

@@ -63,8 +63,8 @@ impl VarPredictor {
                     for b in 0..dim {
                         gram.add_at(a, b, prev[a] * prev[b]);
                     }
-                    for k in 0..dim {
-                        cross.add_at(k, a, next[k] * prev[a]);
+                    for (k, &nk) in next.iter().enumerate() {
+                        cross.add_at(k, a, nk * prev[a]);
                     }
                 }
             }
@@ -86,7 +86,12 @@ impl VarPredictor {
                 }
             }
         }
-        Self { coefficients, num_cus: c, num_durations: d, mean_state }
+        Self {
+            coefficients,
+            num_cus: c,
+            num_durations: d,
+            mean_state,
+        }
     }
 
     /// Predict the next state scores given the current `(cu, duration)` state.
@@ -169,7 +174,10 @@ mod tests {
             .filter(|s| var.predict_sample(s).cu == gw)
             .count() as f64
             / ds.len() as f64;
-        assert!(gw_share > 0.6, "VAR is feature-free and should mostly predict GW (share {gw_share})");
+        assert!(
+            gw_share > 0.6,
+            "VAR is feature-free and should mostly predict GW (share {gw_share})"
+        );
     }
 
     #[test]

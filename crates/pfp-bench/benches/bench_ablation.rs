@@ -39,7 +39,10 @@ fn ablations(c: &mut Criterion) {
         .map(|p| p.cu_event_sequence())
         .collect();
     group.bench_function("generative_hawkes_mle", |b| {
-        let cfg = HawkesFitConfig { max_iters: 10, ..Default::default() };
+        let cfg = HawkesFitConfig {
+            max_iters: 10,
+            ..Default::default()
+        };
         b.iter(|| std::hint::black_box(MultivariateHawkes::fit(&sequences, 8, &cfg)));
     });
     group.finish();
@@ -51,10 +54,14 @@ fn ablations(c: &mut Criterion) {
         ("weighted", ImbalanceStrategy::Weighted),
         ("synthetic", ImbalanceStrategy::synthetic()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strategy| {
-            let cfg = quick.with_imbalance(*strategy);
-            b.iter(|| std::hint::black_box(train(&dataset, &cfg)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, strategy| {
+                let cfg = quick.with_imbalance(*strategy);
+                b.iter(|| std::hint::black_box(train(&dataset, &cfg)));
+            },
+        );
     }
     group.finish();
 }

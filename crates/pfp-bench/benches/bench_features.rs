@@ -13,7 +13,12 @@ fn featurization(c: &mut Criterion) {
         ("lr", FeatureMapKind::CurrentOnly),
         ("mpp", FeatureMapKind::ModulatedPoisson),
         ("scp", FeatureMapKind::SelfCorrecting),
-        ("dmcp", FeatureMapKind::MutuallyCorrecting { sigma: dataset.mean_dwell_days }),
+        (
+            "dmcp",
+            FeatureMapKind::MutuallyCorrecting {
+                sigma: dataset.mean_dwell_days,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("featurize_dataset");
     for (name, kind) in kinds {

@@ -19,7 +19,14 @@ fn simulation(c: &mut Criterion) {
     );
     c.bench_function("ogata_thinning_horizon_50", |b| {
         let mut rng = seeded_rng(3);
-        b.iter(|| std::hint::black_box(simulate(&intensity, 50.0, &mut rng, &ThinningConfig::default())));
+        b.iter(|| {
+            std::hint::black_box(simulate(
+                &intensity,
+                50.0,
+                &mut rng,
+                &ThinningConfig::default(),
+            ))
+        });
     });
 
     let cohort = generate_cohort(&CohortConfig::tiny(17));

@@ -14,7 +14,9 @@ use pfp_ehr::generate_cohort;
 use pfp_eval::experiments::{method_comparison, ComparisonConfig, MethodResult};
 
 fn print_table4(results: &[MethodResult]) {
-    println!("\nTable 4 — destination-CU prediction accuracy (AC_c per department, AC_C overall)\n");
+    println!(
+        "\nTable 4 — destination-CU prediction accuracy (AC_c per department, AC_C overall)\n"
+    );
     let mut header = vec!["dept".to_string()];
     header.extend(results.iter().map(|r| r.method.label().to_string()));
     let mut rows = Vec::new();
@@ -46,7 +48,9 @@ fn print_table5(results: &[MethodResult]) {
 }
 
 fn print_table6(results: &[MethodResult]) {
-    println!("\nTable 6 — relative census-simulation error (Err_c per department, Err_C overall)\n");
+    println!(
+        "\nTable 6 — relative census-simulation error (Err_c per department, Err_C overall)\n"
+    );
     let mut header = vec!["dept".to_string()];
     header.extend(results.iter().map(|r| r.method.label().to_string()));
     let mut rows = Vec::new();

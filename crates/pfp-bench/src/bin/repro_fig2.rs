@@ -21,7 +21,7 @@ fn main() {
         report.correlation
     );
     let mut header = vec!["dept".to_string()];
-    header.extend((0..NUM_DURATION_CLASSES).map(|d| duration_label(d)));
+    header.extend((0..NUM_DURATION_CLASSES).map(duration_label));
     let rows: Vec<Vec<String>> = (0..NUM_CARE_UNITS)
         .map(|cu| {
             let mut row = vec![CareUnit::from_index(cu).abbrev().to_string()];

@@ -18,7 +18,10 @@ fn main() {
     let report = fig7_report(&dataset, &args.train_config(), cohort.features());
 
     println!("Figure 7 — feature selection by the group lasso (trained as SDMCP)");
-    println!("overall fraction of suppressed feature dimensions: {:.3}\n", report.sparsity);
+    println!(
+        "overall fraction of suppressed feature dimensions: {:.3}\n",
+        report.sparsity
+    );
     let header = vec![
         "domain".to_string(),
         "#features".to_string(),
@@ -30,7 +33,13 @@ fn main() {
         .domains
         .iter()
         .map(|(label, count, selected, mean, max)| {
-            vec![label.clone(), count.to_string(), selected.to_string(), fmt3(*mean), fmt3(*max)]
+            vec![
+                label.clone(),
+                count.to_string(),
+                selected.to_string(),
+                fmt3(*mean),
+                fmt3(*max),
+            ]
         })
         .collect();
     print!("{}", render_table(&header, &rows));

@@ -22,7 +22,11 @@ fn main() {
     let report = fig8_report(&dataset, &config, &multipliers);
 
     println!("Figure 8(a) — accuracy vs γ multiplier (log grid around the default γ)\n");
-    let header = vec!["gamma ×".to_string(), "AC_C".to_string(), "AC_D".to_string()];
+    let header = vec![
+        "gamma ×".to_string(),
+        "AC_C".to_string(),
+        "AC_D".to_string(),
+    ];
     let rows: Vec<Vec<String>> = report
         .gamma_sweep
         .iter()

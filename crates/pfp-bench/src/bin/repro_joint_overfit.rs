@@ -21,9 +21,17 @@ fn main() {
 
     println!("Joint (C·D classes) vs decoupled (C + D classes) classifier");
     println!("(the paper reports the joint model's pair accuracy stays below 0.31)\n");
-    let header = vec!["model".to_string(), "pair accuracy".to_string(), "#parameters".to_string()];
+    let header = vec![
+        "model".to_string(),
+        "pair accuracy".to_string(),
+        "#parameters".to_string(),
+    ];
     let rows = vec![
-        vec!["joint".to_string(), fmt3(report.joint_pair_accuracy), report.joint_parameters.to_string()],
+        vec![
+            "joint".to_string(),
+            fmt3(report.joint_pair_accuracy),
+            report.joint_parameters.to_string(),
+        ],
         vec![
             "decoupled".to_string(),
             fmt3(report.decoupled_pair_accuracy),

@@ -5,8 +5,8 @@
 //! cargo run -p pfp-bench --bin repro_table1 --release -- --scale 0.1
 //! ```
 
-use pfp_bench::{render_table, Args};
 use pfp_bench::table::fmt2;
+use pfp_bench::{render_table, Args};
 use pfp_ehr::departments::CareUnit;
 use pfp_ehr::generate_cohort;
 use pfp_eval::experiments::table1_report;
@@ -16,7 +16,10 @@ fn main() {
     let cohort = generate_cohort(&args.cohort_config());
     let report = table1_report(&cohort);
 
-    println!("Table 1 — cohort statistics (synthetic cohort, {} patients, scale {})", report.num_patients, args.scale);
+    println!(
+        "Table 1 — cohort statistics (synthetic cohort, {} patients, scale {})",
+        report.num_patients, args.scale
+    );
     println!("Paper columns are the published MIMIC-II extract (30,685 patients).\n");
 
     let header = vec![

@@ -23,7 +23,11 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Self { scale: 0.05, seed: 42, fast: false }
+        Self {
+            scale: 0.05,
+            seed: 42,
+            fast: false,
+        }
     }
 }
 
@@ -40,7 +44,10 @@ impl Args {
                 "--scale" => {
                     let v = iter.next().expect("--scale requires a value");
                     out.scale = v.parse().expect("--scale must be a float");
-                    assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must be in (0, 1]");
+                    assert!(
+                        out.scale > 0.0 && out.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
                 }
                 "--seed" => {
                     let v = iter.next().expect("--seed requires a value");
@@ -95,7 +102,10 @@ mod tests {
         assert!((a.scale - 0.2).abs() < 1e-12);
         assert_eq!(a.seed, 7);
         assert!(a.fast);
-        assert!(a.train_config().max_outer_iters <= pfp_core::TrainConfig::paper_default().max_outer_iters);
+        assert!(
+            a.train_config().max_outer_iters
+                <= pfp_core::TrainConfig::paper_default().max_outer_iters
+        );
     }
 
     #[test]

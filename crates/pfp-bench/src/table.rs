@@ -66,7 +66,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "row width must match")]
     fn mismatched_rows_are_rejected() {
-        let _ = render_table(&["a".to_string()], &[vec!["x".to_string(), "y".to_string()]]);
+        let _ = render_table(
+            &["a".to_string()],
+            &[vec!["x".to_string(), "y".to_string()]],
+        );
     }
 
     #[test]

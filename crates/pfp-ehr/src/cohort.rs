@@ -111,6 +111,9 @@ impl Archetype {
 
     /// Downstream boost: staying in `from` raises the propensity of these
     /// follow-up departments (the "mutually-correcting" cross-excitation).
+    // Every arm follows the same `if from == ...` shape; collapsing the
+    // single-branch arms into match guards would break the symmetry.
+    #[allow(clippy::collapsible_match)]
     fn downstream_boost(self, from: usize) -> [f64; NUM_CARE_UNITS] {
         let mut boost = [0.0; NUM_CARE_UNITS];
         let gw = CareUnit::Gw.index();
@@ -200,7 +203,8 @@ impl CohortConfig {
     pub fn scaled(scale: f64, seed: u64) -> Self {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         Self {
-            num_patients: ((crate::departments::PAPER_NUM_PATIENTS as f64 * scale) as usize).max(50),
+            num_patients: ((crate::departments::PAPER_NUM_PATIENTS as f64 * scale) as usize)
+                .max(50),
             features: FeatureDictionary::scaled(scale.max(0.01)),
             seed,
             profile_actives: 16,
@@ -266,7 +270,11 @@ pub fn generate_cohort(config: &CohortConfig) -> Cohort {
         patients.push(record);
         archetypes.push(archetype);
     }
-    Cohort { config: config.clone(), patients, archetypes }
+    Cohort {
+        config: config.clone(),
+        patients,
+        archetypes,
+    }
 }
 
 fn sample_archetype(rng: &mut StdRng) -> Archetype {
@@ -308,7 +316,12 @@ fn generate_patient(
         let dwell = sample_dwell_days(cu, severity, rng);
         let next_cu = cus.get(i + 1).copied();
         let services = generate_stay_features(archetype, cu, next_cu, dwell, config, rng);
-        stays.push(Stay { cu, entry_time: t, dwell_days: dwell, services });
+        stays.push(Stay {
+            cu,
+            entry_time: t,
+            dwell_days: dwell,
+            services,
+        });
         t += dwell;
     }
 
@@ -390,7 +403,8 @@ fn generate_profile_features(
     let count = ((config.profile_actives as f64) * richness).round() as usize;
     let mut active: Vec<u32> = Vec::new();
     // Archetype signature block: deterministic indices keyed by the archetype.
-    let signature = dict.profile_signature_indices(archetype.index() as u64, count.max(1), config.seed);
+    let signature =
+        dict.profile_signature_indices(archetype.index() as u64, count.max(1), config.seed);
     for &idx in signature.iter() {
         if bernoulli(rng, 0.85) {
             active.push(idx);
@@ -431,26 +445,98 @@ fn generate_stay_features(
     let mut active: Vec<u32> = Vec::new();
 
     // Department signature (what care in this unit looks like).
-    push_signature(&mut active, dict, FeatureDomain::Treatment, 1000 + cu as u64, treat_budget / 2 + 1, config.seed, 0.9, rng);
-    push_signature(&mut active, dict, FeatureDomain::Nursing, 2000 + cu as u64, nurse_budget / 2 + 1, config.seed, 0.85, rng);
-    push_signature(&mut active, dict, FeatureDomain::Medication, 3000 + cu as u64, med_budget, config.seed, 0.8, rng);
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Treatment,
+        1000 + cu as u64,
+        treat_budget / 2 + 1,
+        config.seed,
+        0.9,
+        rng,
+    );
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Nursing,
+        2000 + cu as u64,
+        nurse_budget / 2 + 1,
+        config.seed,
+        0.85,
+        rng,
+    );
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Medication,
+        3000 + cu as u64,
+        med_budget,
+        config.seed,
+        0.8,
+        rng,
+    );
 
     // Next-destination signal: services ordered in preparation of the transfer
     // (e.g. pre-operative work-up before cardiac surgery).  This is the signal
     // the discriminative learners are supposed to pick up.
     if let Some(next) = next_cu {
         let key = 5000 + (cu * NUM_CARE_UNITS + next) as u64;
-        push_signature(&mut active, dict, FeatureDomain::Treatment, key, treat_budget / 2 + 1, config.seed, 0.85, rng);
-        push_signature(&mut active, dict, FeatureDomain::Nursing, 9000 + next as u64, (nurse_budget / 3).max(1), config.seed, 0.7, rng);
+        push_signature(
+            &mut active,
+            dict,
+            FeatureDomain::Treatment,
+            key,
+            treat_budget / 2 + 1,
+            config.seed,
+            0.85,
+            rng,
+        );
+        push_signature(
+            &mut active,
+            dict,
+            FeatureDomain::Nursing,
+            9000 + next as u64,
+            (nurse_budget / 3).max(1),
+            config.seed,
+            0.7,
+            rng,
+        );
     }
 
     // Duration signal: long stays accumulate characteristic nursing items.
     let dur_class = crate::departments::duration_class(dwell_days);
-    push_signature(&mut active, dict, FeatureDomain::Nursing, 7000 + dur_class as u64, (nurse_budget / 2).max(1), config.seed, 0.8, rng);
-    push_signature(&mut active, dict, FeatureDomain::Medication, 8000 + dur_class as u64, 1, config.seed, 0.6, rng);
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Nursing,
+        7000 + dur_class as u64,
+        (nurse_budget / 2).max(1),
+        config.seed,
+        0.8,
+        rng,
+    );
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Medication,
+        8000 + dur_class as u64,
+        1,
+        config.seed,
+        0.6,
+        rng,
+    );
 
     // Archetype-wide therapy signature.
-    push_signature(&mut active, dict, FeatureDomain::Treatment, 400 + archetype.index() as u64, (treat_budget / 3).max(1), config.seed, 0.75, rng);
+    push_signature(
+        &mut active,
+        dict,
+        FeatureDomain::Treatment,
+        400 + archetype.index() as u64,
+        (treat_budget / 3).max(1),
+        config.seed,
+        0.75,
+        rng,
+    );
 
     // Unstructured noise spread across the whole time-varying vector.
     let noise = (config.stay_actives / 4).max(1);
@@ -461,6 +547,7 @@ fn generate_stay_features(
     SparseVec::binary(dict.time_varying_dim(), active)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_signature(
     active: &mut Vec<u32>,
     dict: &FeatureDictionary,
@@ -526,9 +613,9 @@ mod tests {
         let cohort = generate_cohort(&CohortConfig::small(11));
         let mut patients_per_cu = [0usize; NUM_CARE_UNITS];
         for p in &cohort.patients {
-            for cu in 0..NUM_CARE_UNITS {
+            for (cu, count) in patients_per_cu.iter_mut().enumerate() {
                 if p.visited(cu) {
-                    patients_per_cu[cu] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -548,9 +635,9 @@ mod tests {
         let cohort = generate_cohort(&CohortConfig::small(5));
         let mut shares = [0.0f64; NUM_CARE_UNITS];
         for p in &cohort.patients {
-            for cu in 0..NUM_CARE_UNITS {
+            for (cu, share) in shares.iter_mut().enumerate() {
                 if p.visited(cu) {
-                    shares[cu] += 1.0;
+                    *share += 1.0;
                 }
             }
         }
@@ -562,7 +649,11 @@ mod tests {
         let mut theirs: Vec<usize> = (0..NUM_CARE_UNITS).collect();
         theirs.sort_by_key(|&k| std::cmp::Reverse(paper[k].patients));
         assert_eq!(ours[0], theirs[0], "most common department should be GW");
-        assert_eq!(ours[NUM_CARE_UNITS - 1], theirs[NUM_CARE_UNITS - 1], "rarest should be ACU");
+        assert_eq!(
+            ours[NUM_CARE_UNITS - 1],
+            theirs[NUM_CARE_UNITS - 1],
+            "rarest should be ACU"
+        );
     }
 
     #[test]

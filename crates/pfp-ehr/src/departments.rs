@@ -129,14 +129,46 @@ pub struct PaperTable1Row {
 /// The Table 1 targets in department index order.
 pub fn paper_table1() -> [PaperTable1Row; NUM_CARE_UNITS] {
     [
-        PaperTable1Row { patients: 6_259, transitions: 7_030, mean_duration_days: 3.32 },
-        PaperTable1Row { patients: 559, transitions: 631, mean_duration_days: 2.38 },
-        PaperTable1Row { patients: 3_254, transitions: 3_525, mean_duration_days: 4.46 },
-        PaperTable1Row { patients: 9_490, transitions: 10_679, mean_duration_days: 3.96 },
-        PaperTable1Row { patients: 7_245, transitions: 8_903, mean_duration_days: 3.83 },
-        PaperTable1Row { patients: 1_552, transitions: 1_628, mean_duration_days: 3.21 },
-        PaperTable1Row { patients: 7_458, transitions: 7_657, mean_duration_days: 9.01 },
-        PaperTable1Row { patients: 23_748, transitions: 28_118, mean_duration_days: 4.15 },
+        PaperTable1Row {
+            patients: 6_259,
+            transitions: 7_030,
+            mean_duration_days: 3.32,
+        },
+        PaperTable1Row {
+            patients: 559,
+            transitions: 631,
+            mean_duration_days: 2.38,
+        },
+        PaperTable1Row {
+            patients: 3_254,
+            transitions: 3_525,
+            mean_duration_days: 4.46,
+        },
+        PaperTable1Row {
+            patients: 9_490,
+            transitions: 10_679,
+            mean_duration_days: 3.96,
+        },
+        PaperTable1Row {
+            patients: 7_245,
+            transitions: 8_903,
+            mean_duration_days: 3.83,
+        },
+        PaperTable1Row {
+            patients: 1_552,
+            transitions: 1_628,
+            mean_duration_days: 3.21,
+        },
+        PaperTable1Row {
+            patients: 7_458,
+            transitions: 7_657,
+            mean_duration_days: 9.01,
+        },
+        PaperTable1Row {
+            patients: 23_748,
+            transitions: 28_118,
+            mean_duration_days: 4.15,
+        },
     ]
 }
 
@@ -214,7 +246,10 @@ mod tests {
     fn paper_table2_rows_sum_to_one() {
         for row in paper_table2() {
             let s: f64 = row.iter().sum();
-            assert!((s - 1.0).abs() < 0.01, "domain proportions should sum to ~1, got {s}");
+            assert!(
+                (s - 1.0).abs() < 0.01,
+                "domain proportions should sum to ~1, got {s}"
+            );
         }
     }
 }

@@ -69,7 +69,12 @@ pub struct FeatureDictionary {
 impl FeatureDictionary {
     /// The full dictionary sizes reported by the paper.
     pub fn paper_full() -> Self {
-        Self { profile: 4_832, treatment: 5_627, nursing: 6_808, medication: 405 }
+        Self {
+            profile: 4_832,
+            treatment: 5_627,
+            nursing: 6_808,
+            medication: 405,
+        }
     }
 
     /// A scaled-down dictionary preserving the relative domain sizes.
@@ -90,7 +95,12 @@ impl FeatureDictionary {
 
     /// A tiny dictionary for unit tests and doctests.
     pub fn tiny() -> Self {
-        Self { profile: 40, treatment: 60, nursing: 40, medication: 20 }
+        Self {
+            profile: 40,
+            treatment: 60,
+            nursing: 40,
+            medication: 20,
+        }
     }
 
     /// Dimension of the time-varying stay vector (`treatment + nursing + medication`).
@@ -114,15 +124,16 @@ impl FeatureDictionary {
             FeatureDomain::Profile => panic!("profile is not a time-varying domain"),
             FeatureDomain::Treatment => 0..self.treatment,
             FeatureDomain::Nursing => self.treatment..self.treatment + self.nursing,
-            FeatureDomain::Medication => {
-                self.treatment + self.nursing..self.time_varying_dim()
-            }
+            FeatureDomain::Medication => self.treatment + self.nursing..self.time_varying_dim(),
         }
     }
 
     /// Domain of an index of the time-varying vector.
     pub fn domain_of_time_varying(&self, index: usize) -> FeatureDomain {
-        assert!(index < self.time_varying_dim(), "time-varying index out of range");
+        assert!(
+            index < self.time_varying_dim(),
+            "time-varying index out of range"
+        );
         if index < self.treatment {
             FeatureDomain::Treatment
         } else if index < self.treatment + self.nursing {
@@ -197,7 +208,10 @@ mod tests {
         let d = FeatureDictionary::scaled(0.01);
         assert!(d.treatment > d.medication);
         assert!(d.medication >= 8);
-        assert_eq!(FeatureDictionary::scaled(1.0), FeatureDictionary::paper_full());
+        assert_eq!(
+            FeatureDictionary::scaled(1.0),
+            FeatureDictionary::paper_full()
+        );
     }
 
     #[test]
@@ -220,7 +234,11 @@ mod tests {
     #[test]
     fn domain_lookup_is_consistent_with_ranges() {
         let d = FeatureDictionary::tiny();
-        for domain in [FeatureDomain::Treatment, FeatureDomain::Nursing, FeatureDomain::Medication] {
+        for domain in [
+            FeatureDomain::Treatment,
+            FeatureDomain::Nursing,
+            FeatureDomain::Medication,
+        ] {
             for i in d.time_varying_range(domain) {
                 assert_eq!(d.domain_of_time_varying(i), domain);
             }
@@ -266,7 +284,8 @@ mod tests {
 
     #[test]
     fn domain_labels_are_unique() {
-        let set: std::collections::HashSet<_> = FeatureDomain::ALL.iter().map(|d| d.label()).collect();
+        let set: std::collections::HashSet<_> =
+            FeatureDomain::ALL.iter().map(|d| d.label()).collect();
         assert_eq!(set.len(), 4);
     }
 }

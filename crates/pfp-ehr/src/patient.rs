@@ -71,10 +71,17 @@ impl PatientRecord {
     /// Panics on malformed records; the cohort generator always produces
     /// valid ones, so this is mainly a guard for hand-built test fixtures.
     pub fn validate(&self) {
-        assert!(!self.stays.is_empty(), "a patient must have at least one stay");
+        assert!(
+            !self.stays.is_empty(),
+            "a patient must have at least one stay"
+        );
         let mut t = 0.0;
         for stay in &self.stays {
-            assert!(stay.cu < NUM_CARE_UNITS, "invalid care unit index {}", stay.cu);
+            assert!(
+                stay.cu < NUM_CARE_UNITS,
+                "invalid care unit index {}",
+                stay.cu
+            );
             assert!(stay.dwell_days > 0.0, "dwell time must be positive");
             assert!(stay.entry_time >= t - 1e-9, "stays must be chronological");
             t = stay.exit_time();
@@ -115,7 +122,13 @@ impl PatientRecord {
             .iter()
             .map(|t| Event::new(t.time, t.destination))
             .collect();
-        let horizon = self.stays.last().map(|s| s.exit_time()).unwrap_or(1.0).max(1.0) + 1e-9;
+        let horizon = self
+            .stays
+            .last()
+            .map(|s| s.exit_time())
+            .unwrap_or(1.0)
+            .max(1.0)
+            + 1e-9;
         EventSequence::new(events, horizon, NUM_CARE_UNITS)
     }
 
@@ -135,9 +148,24 @@ mod tests {
             id: 0,
             profile: SparseVec::binary(10, vec![1, 3]),
             stays: vec![
-                Stay { cu: 0, entry_time: 0.0, dwell_days: 2.4, services: SparseVec::binary(20, vec![2]) },
-                Stay { cu: 3, entry_time: 2.4, dwell_days: 8.1, services: SparseVec::binary(20, vec![5]) },
-                Stay { cu: 7, entry_time: 10.5, dwell_days: 1.0, services: SparseVec::binary(20, vec![9]) },
+                Stay {
+                    cu: 0,
+                    entry_time: 0.0,
+                    dwell_days: 2.4,
+                    services: SparseVec::binary(20, vec![2]),
+                },
+                Stay {
+                    cu: 3,
+                    entry_time: 2.4,
+                    dwell_days: 8.1,
+                    services: SparseVec::binary(20, vec![5]),
+                },
+                Stay {
+                    cu: 7,
+                    entry_time: 10.5,
+                    dwell_days: 1.0,
+                    services: SparseVec::binary(20, vec![9]),
+                },
             ],
         }
     }
@@ -177,7 +205,12 @@ mod tests {
         let r = PatientRecord {
             id: 1,
             profile: SparseVec::new(4),
-            stays: vec![Stay { cu: 7, entry_time: 0.0, dwell_days: 3.0, services: SparseVec::new(8) }],
+            stays: vec![Stay {
+                cu: 7,
+                entry_time: 0.0,
+                dwell_days: 3.0,
+                services: SparseVec::new(8),
+            }],
         };
         r.validate();
         assert!(r.transitions().is_empty());
@@ -187,7 +220,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one stay")]
     fn validate_rejects_empty_record() {
-        let r = PatientRecord { id: 2, profile: SparseVec::new(4), stays: vec![] };
+        let r = PatientRecord {
+            id: 2,
+            profile: SparseVec::new(4),
+            stays: vec![],
+        };
         r.validate();
     }
 
@@ -198,8 +235,18 @@ mod tests {
             id: 3,
             profile: SparseVec::new(4),
             stays: vec![
-                Stay { cu: 0, entry_time: 5.0, dwell_days: 1.0, services: SparseVec::new(8) },
-                Stay { cu: 1, entry_time: 1.0, dwell_days: 1.0, services: SparseVec::new(8) },
+                Stay {
+                    cu: 0,
+                    entry_time: 5.0,
+                    dwell_days: 1.0,
+                    services: SparseVec::new(8),
+                },
+                Stay {
+                    cu: 1,
+                    entry_time: 1.0,
+                    dwell_days: 1.0,
+                    services: SparseVec::new(8),
+                },
             ],
         };
         r.validate();

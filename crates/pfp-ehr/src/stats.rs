@@ -31,9 +31,9 @@ pub fn table1(cohort: &Cohort) -> Vec<Table1Row> {
     let mut dwell_cnt = [0usize; NUM_CARE_UNITS];
 
     for p in &cohort.patients {
-        for cu in 0..NUM_CARE_UNITS {
+        for (cu, count) in patients.iter_mut().enumerate() {
             if p.visited(cu) {
-                patients[cu] += 1;
+                *count += 1;
             }
         }
         // Every stay is an arrival directed to that department (the paper's
@@ -83,7 +83,9 @@ pub fn table2(cohort: &Cohort) -> Vec<Table2Row> {
                     FeatureDomain::Treatment => counts[s.cu][1] += 1,
                     FeatureDomain::Nursing => counts[s.cu][2] += 1,
                     FeatureDomain::Medication => counts[s.cu][3] += 1,
-                    FeatureDomain::Profile => unreachable!("service vectors have no profile domain"),
+                    FeatureDomain::Profile => {
+                        unreachable!("service vectors have no profile domain")
+                    }
                 }
             }
         }
@@ -134,9 +136,17 @@ pub fn duration_histogram(cohort: &Cohort) -> DurationHistogram {
         .map(|d| table.column_distribution(d))
         .collect();
     let counts = (0..NUM_CARE_UNITS)
-        .map(|cu| (0..NUM_DURATION_CLASSES).map(|d| table.get(cu, d)).collect())
+        .map(|cu| {
+            (0..NUM_DURATION_CLASSES)
+                .map(|d| table.get(cu, d))
+                .collect()
+        })
         .collect();
-    DurationHistogram { per_duration_class, correlation: table.index_correlation(), counts }
+    DurationHistogram {
+        per_duration_class,
+        correlation: table.index_correlation(),
+        counts,
+    }
 }
 
 /// Mean dwell time across every stay in the cohort — the paper's choice for
@@ -198,7 +208,10 @@ mod tests {
         assert_eq!(total_transitions, total_stays);
         for row in &t1 {
             assert!(row.patients <= c.patients.len());
-            assert!(row.transitions >= row.patients, "arrivals include the admission");
+            assert!(
+                row.transitions >= row.patients,
+                "arrivals include the admission"
+            );
             assert!(row.mean_duration_days >= 0.0);
         }
         // GW is the most visited department.
@@ -212,7 +225,10 @@ mod tests {
         let nicu = t1[CareUnit::Nicu.index()].mean_duration_days;
         for row in &t1 {
             if row.cu != CareUnit::Nicu.index() {
-                assert!(nicu > row.mean_duration_days, "NICU should have the longest stays");
+                assert!(
+                    nicu > row.mean_duration_days,
+                    "NICU should have the longest stays"
+                );
             }
         }
     }
@@ -227,7 +243,11 @@ mod tests {
         // The paper's Table 2 has treatment as the dominant service domain for
         // every department; medication is always the smallest service share.
         for row in &t2 {
-            assert!(row.proportions[1] > row.proportions[3], "treatment > medication for CU {}", row.cu);
+            assert!(
+                row.proportions[1] > row.proportions[3],
+                "treatment > medication for CU {}",
+                row.cu
+            );
         }
         let _ = paper_table2();
     }
@@ -245,13 +265,20 @@ mod tests {
     #[test]
     fn destination_duration_correlation_is_weak() {
         let h = duration_histogram(&cohort());
-        assert!(h.correlation.abs() < 0.45, "correlation = {} should be weak", h.correlation);
+        assert!(
+            h.correlation.abs() < 0.45,
+            "correlation = {} should be weak",
+            h.correlation
+        );
     }
 
     #[test]
     fn label_counts_reflect_imbalance() {
         let (cu_counts, dur_counts) = label_counts(&cohort());
-        assert_eq!(cu_counts.iter().sum::<usize>(), dur_counts.iter().sum::<usize>());
+        assert_eq!(
+            cu_counts.iter().sum::<usize>(),
+            dur_counts.iter().sum::<usize>()
+        );
         let gw = cu_counts[CareUnit::Gw.index()];
         let acu = cu_counts[CareUnit::Acu.index()];
         assert!(gw > 10 * acu.max(1), "GW ({gw}) should dwarf ACU ({acu})");

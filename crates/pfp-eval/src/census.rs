@@ -56,11 +56,15 @@ pub fn representative_dwell_days(duration_class: usize, num_durations: usize) ->
 
 /// Occupancy of a trajectory described by `(cu, entry, dwell)` triples,
 /// sampled at the midpoint of each day in `0..CENSUS_DAYS`.
+// `day` indexes the *inner* vectors while the outer index comes from the
+// matched stay, so there is no single slice to enumerate over.
+#[allow(clippy::needless_range_loop)]
 fn occupancy(stays: &[(usize, f64, f64)], census: &mut [Vec<usize>]) {
     for day in 0..CENSUS_DAYS {
         let probe = day as f64 + 0.5;
-        if let Some(&(cu, _, _)) =
-            stays.iter().find(|&&(_, entry, dwell)| probe >= entry && probe < entry + dwell)
+        if let Some(&(cu, _, _)) = stays
+            .iter()
+            .find(|&&(_, entry, dwell)| probe >= entry && probe < entry + dwell)
         {
             census[cu][day] += 1;
         }
@@ -75,8 +79,11 @@ pub fn simulate_census(predictor: &dyn FlowPredictor, test: &Dataset) -> CensusR
 
     for patient in &test.patients {
         // Actual occupancy from the real stays.
-        let real: Vec<(usize, f64, f64)> =
-            patient.stays.iter().map(|s| (s.cu, s.entry_time, s.dwell_days)).collect();
+        let real: Vec<(usize, f64, f64)> = patient
+            .stays
+            .iter()
+            .map(|s| (s.cu, s.entry_time, s.dwell_days))
+            .collect();
         occupancy(&real, &mut actual);
 
         // Simulated occupancy from the predictor's rollout.
@@ -107,7 +114,12 @@ pub fn simulate_census(predictor: &dyn FlowPredictor, test: &Dataset) -> CensusR
         .sum::<f64>()
         / total_weight;
 
-    CensusResult { actual, simulated, per_cu_error, overall_error }
+    CensusResult {
+        actual,
+        simulated,
+        per_cu_error,
+        overall_error,
+    }
 }
 
 /// Roll a single patient forward for one week under the predictor.
@@ -120,8 +132,10 @@ fn rollout_patient(
     num_durations: usize,
 ) -> Vec<(usize, f64, f64)> {
     let first = &patient.stays[0];
-    let mut history: Vec<HistoryStay> =
-        vec![HistoryStay { entry_time: first.entry_time, services: first.services.clone() }];
+    let mut history: Vec<HistoryStay> = vec![HistoryStay {
+        entry_time: first.entry_time,
+        services: first.services.clone(),
+    }];
     let mut cu_history = vec![first.cu];
     let mut stays: Vec<(usize, f64, f64)> = Vec::new();
     let mut entry = first.entry_time;
@@ -155,7 +169,10 @@ fn rollout_patient(
         prev_duration = Some(prediction.duration);
         entry = next_entry;
         cu_history.push(prediction.cu);
-        history.push(HistoryStay { entry_time: next_entry, services: SparseVec::new(service_dim) });
+        history.push(HistoryStay {
+            entry_time: next_entry,
+            services: SparseVec::new(service_dim),
+        });
     }
     stays
 }
@@ -179,7 +196,10 @@ mod tests {
             MethodId::Mc
         }
         fn predict_sample(&self, _sample: &RawSample) -> Prediction {
-            Prediction { cu: self.cu, duration: self.duration }
+            Prediction {
+                cu: self.cu,
+                duration: self.duration,
+            }
         }
     }
 
@@ -235,7 +255,10 @@ mod tests {
         let predictor = Constant { cu: 7, duration: 7 };
         let result = simulate_census(&predictor, &ds);
         for cu in 0..NUM_CARE_UNITS {
-            assert_eq!(result.simulated[cu][0], result.actual[cu][0], "day-0 mismatch for cu {cu}");
+            assert_eq!(
+                result.simulated[cu][0], result.actual[cu][0],
+                "day-0 mismatch for cu {cu}"
+            );
         }
     }
 }

@@ -1,9 +1,8 @@
 //! K-fold cross-validation (Section 4.1: 10-fold CV over the training data).
 //!
 //! Folds are split by patient.  Training of the per-fold models is embarrassingly
-//! parallel, so the harness runs folds on scoped `crossbeam` threads.
+//! parallel, so the harness runs folds on `std::thread::scope` threads.
 
-use crossbeam::thread;
 use pfp_baselines::FlowPredictor;
 use pfp_core::Dataset;
 use serde::{Deserialize, Serialize};
@@ -28,7 +27,11 @@ impl CvResult {
 
     /// Standard deviation of the overall duration accuracy across folds.
     pub fn overall_duration_std(&self) -> f64 {
-        let accs: Vec<f64> = self.fold_reports.iter().map(|r| r.overall_duration).collect();
+        let accs: Vec<f64> = self
+            .fold_reports
+            .iter()
+            .map(|r| r.overall_duration)
+            .collect();
         pfp_math::stats::std_dev(&accs)
     }
 }
@@ -44,20 +47,22 @@ where
     F: Fn(&Dataset) -> P + Sync,
 {
     let folds = dataset.k_folds(k, seed);
-    let fold_reports: Vec<AccuracyReport> = thread::scope(|scope| {
+    let fold_reports: Vec<AccuracyReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = folds
             .iter()
             .map(|(train, val)| {
                 let train_fn = &train_fn;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let model = train_fn(train);
                     evaluate(&model, val)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fold thread panicked")).collect()
-    })
-    .expect("cross-validation scope panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
+    });
 
     let mean = AccuracyReport::average(&fold_reports);
     CvResult { fold_reports, mean }

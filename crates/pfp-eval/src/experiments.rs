@@ -4,11 +4,11 @@
 //! `pfp-bench` reproduction binaries call these and render the results as
 //! text tables next to the paper's published numbers.
 
+use pfp_baselines::predictor::HierarchicalPredictor;
 use pfp_baselines::{
     CtmcPredictor, DmcpPredictor, FlowPredictor, HawkesPredictor, MarkovPredictor, MethodId,
     VarPredictor,
 };
-use pfp_baselines::predictor::HierarchicalPredictor;
 use pfp_core::joint::JointLabelModel;
 use pfp_core::{Dataset, TrainConfig};
 use pfp_ehr::departments::{paper_table1, paper_table2, NUM_CARE_UNITS};
@@ -38,7 +38,10 @@ pub struct Table1Report {
 pub fn table1_report(cohort: &Cohort) -> Table1Report {
     Table1Report {
         measured: table1(cohort),
-        paper: paper_table1().iter().map(|r| (r.patients, r.transitions, r.mean_duration_days)).collect(),
+        paper: paper_table1()
+            .iter()
+            .map(|r| (r.patients, r.transitions, r.mean_duration_days))
+            .collect(),
         num_patients: cohort.patients.len(),
     }
 }
@@ -54,7 +57,10 @@ pub struct Table2Report {
 
 /// Reproduce Table 2.
 pub fn table2_report(cohort: &Cohort) -> Table2Report {
-    Table2Report { measured: table2(cohort), paper: paper_table2().to_vec() }
+    Table2Report {
+        measured: table2(cohort),
+        paper: paper_table2().to_vec(),
+    }
 }
 
 /// Reproduce Figure 2 (duration histogram per CU + correlation).
@@ -79,7 +85,9 @@ pub fn fig3_report(grid_points: usize) -> Fig3Report {
     assert!(grid_points >= 10, "need a reasonable evaluation grid");
     // A fixed 1-D event sequence similar in spirit to the paper's Fig. 3
     // (irregular bursts over ~70 days).
-    let event_times = vec![3.0, 5.0, 6.0, 14.0, 21.0, 22.5, 24.0, 36.0, 45.0, 47.0, 48.0, 60.0, 66.0];
+    let event_times = vec![
+        3.0, 5.0, 6.0, 14.0, 21.0, 22.5, 24.0, 36.0, 45.0, 47.0, 48.0, 60.0, 66.0,
+    ];
     let horizon = 70.0;
     let events: Vec<Event> = event_times.iter().map(|&t| Event::new(t, 0)).collect();
 
@@ -88,22 +96,31 @@ pub fn fig3_report(grid_points: usize) -> Fig3Report {
             "Modulated Poisson",
             ParametricIntensity::scalar(KernelKind::ModulatedPoisson, 2.0, -1.0),
         ),
-        ("Hawkes", ParametricIntensity::scalar(KernelKind::Hawkes { decay: 0.8 }, 2.0, -3.0)),
-        ("Self-correcting", ParametricIntensity::scalar(KernelKind::SelfCorrecting, 0.12, 0.35)),
+        (
+            "Hawkes",
+            ParametricIntensity::scalar(KernelKind::Hawkes { decay: 0.8 }, 2.0, -3.0),
+        ),
+        (
+            "Self-correcting",
+            ParametricIntensity::scalar(KernelKind::SelfCorrecting, 0.12, 0.35),
+        ),
         (
             "Mutually-correcting",
             ParametricIntensity::scalar(KernelKind::MutuallyCorrecting { sigma: 3.0 }, 0.35, -1.2),
         ),
     ];
 
-    let times: Vec<f64> = (0..grid_points).map(|i| horizon * i as f64 / (grid_points - 1) as f64).collect();
+    let times: Vec<f64> = (0..grid_points)
+        .map(|i| horizon * i as f64 / (grid_points - 1) as f64)
+        .collect();
     let series = models
         .into_iter()
         .map(|(label, model)| {
             let values = times
                 .iter()
                 .map(|&t| {
-                    let history: Vec<Event> = events.iter().copied().filter(|e| e.time < t).collect();
+                    let history: Vec<Event> =
+                        events.iter().copied().filter(|e| e.time < t).collect();
                     model.intensity(0, t.max(1e-6), &history)
                 })
                 .collect();
@@ -111,7 +128,11 @@ pub fn fig3_report(grid_points: usize) -> Fig3Report {
         })
         .collect();
 
-    Fig3Report { times, series, event_times }
+    Fig3Report {
+        times,
+        series,
+        event_times,
+    }
 }
 
 /// Hyper-parameters of a full method comparison.
@@ -142,7 +163,10 @@ impl ComparisonConfig {
     pub fn fast(seed: u64) -> Self {
         Self {
             train: TrainConfig::fast(),
-            hawkes: HawkesFitConfig { max_iters: 20, ..Default::default() },
+            hawkes: HawkesFitConfig {
+                max_iters: 20,
+                ..Default::default()
+            },
             test_fraction: 0.2,
             seed,
         }
@@ -161,7 +185,11 @@ pub struct MethodResult {
 }
 
 /// Train one method on the training split.
-pub fn train_method(train: &Dataset, config: &ComparisonConfig, method: MethodId) -> Box<dyn FlowPredictor> {
+pub fn train_method(
+    train: &Dataset,
+    config: &ComparisonConfig,
+    method: MethodId,
+) -> Box<dyn FlowPredictor> {
     match method {
         MethodId::Mc => Box::new(MarkovPredictor::train(train)),
         MethodId::Var => Box::new(VarPredictor::train(train, 1.0)),
@@ -205,11 +233,16 @@ pub struct Fig7Report {
 
 /// Reproduce Figure 7 by training SDMCP and summarising the coefficient rows
 /// per feature domain.
-pub fn fig7_report(dataset: &Dataset, config: &TrainConfig, dict: &FeatureDictionary) -> Fig7Report {
+pub fn fig7_report(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    dict: &FeatureDictionary,
+) -> Fig7Report {
     let sdmcp = DmcpPredictor::train(dataset, config, MethodId::Sdmcp);
     let model = sdmcp.model();
     let magnitudes = model.feature_magnitudes();
-    let selected: std::collections::HashSet<usize> = model.selected_features().into_iter().collect();
+    let selected: std::collections::HashSet<usize> =
+        model.selected_features().into_iter().collect();
 
     let mut domains = Vec::new();
     for domain in FeatureDomain::ALL {
@@ -223,7 +256,10 @@ pub fn fig7_report(dataset: &Dataset, config: &TrainConfig, dict: &FeatureDictio
         let max = mags.iter().copied().fold(0.0_f64, f64::max);
         domains.push((domain.label().to_string(), count, sel, mean, max));
     }
-    Fig7Report { domains, sparsity: model.sparsity() }
+    Fig7Report {
+        domains,
+        sparsity: model.sparsity(),
+    }
 }
 
 /// Figure 8 reproduction: overall accuracies as γ and ρ vary on a log grid.
@@ -237,7 +273,11 @@ pub struct Fig8Report {
 
 /// Reproduce Figure 8.  `multipliers` is the log-spaced grid (the paper uses
 /// `10^{-2} .. 10^{2}` around the defaults γ = ρ = 1).
-pub fn fig8_report(dataset: &Dataset, config: &ComparisonConfig, multipliers: &[f64]) -> Fig8Report {
+pub fn fig8_report(
+    dataset: &Dataset,
+    config: &ComparisonConfig,
+    multipliers: &[f64],
+) -> Fig8Report {
     let (train, test) = dataset.split_holdout(config.test_fraction, config.seed);
     let base_gamma = config.train.gamma;
 
@@ -257,7 +297,10 @@ pub fn fig8_report(dataset: &Dataset, config: &ComparisonConfig, multipliers: &[
         rho_sweep.push((m, report.overall_cu, report.overall_duration));
     }
 
-    Fig8Report { gamma_sweep, rho_sweep }
+    Fig8Report {
+        gamma_sweep,
+        rho_sweep,
+    }
 }
 
 /// The joint-classifier over-fitting comparison discussed in Section 4.1.
@@ -279,7 +322,11 @@ pub fn joint_overfit_report(dataset: &Dataset, config: &ComparisonConfig) -> Joi
     let joint = JointLabelModel::train(&train, &config.train);
     let decoupled = DmcpPredictor::train(&train, &config.train, MethodId::Dmcp);
 
-    let test_samples = test.featurize(config.train.feature_map.unwrap_or_else(|| test.default_mcp_kind()));
+    // Featurize the test split with the *trained* feature map: both models
+    // resolved their kind (and in particular σ) from the train split, and
+    // evaluating on features built with the test split's own σ would hand
+    // the models history weights they never saw.
+    let test_samples = test.featurize(decoupled.model().kind);
     let mut joint_correct = 0usize;
     let mut decoupled_correct = 0usize;
     for s in &test_samples {
@@ -362,10 +409,18 @@ mod tests {
         assert_eq!(r.times.len(), 100);
         for (label, values) in &r.series {
             assert_eq!(values.len(), 100);
-            assert!(values.iter().all(|&v| v >= 0.0 && v.is_finite()), "negative intensity in {label}");
+            assert!(
+                values.iter().all(|&v| v >= 0.0 && v.is_finite()),
+                "negative intensity in {label}"
+            );
         }
         // The self-correcting intensity should generally grow over the window.
-        let sc = &r.series.iter().find(|(l, _)| l == "Self-correcting").unwrap().1;
+        let sc = &r
+            .series
+            .iter()
+            .find(|(l, _)| l == "Self-correcting")
+            .unwrap()
+            .1;
         assert!(sc.last().unwrap() > sc.first().unwrap());
     }
 

@@ -44,6 +44,30 @@ impl AccuracyReport {
         }
     }
 
+    /// Per-department F1 scores derived from the destination confusion matrix.
+    ///
+    /// Classes with no true samples *and* no predictions score 0 (not NaN):
+    /// every precision/recall denominator is guarded, so degenerate inputs
+    /// (empty test set, single-class cohort) yield finite scores.
+    pub fn per_cu_f1(&self) -> Vec<f64> {
+        per_class_f1(&self.confusion_cu)
+    }
+
+    /// Per-duration-class F1 scores.
+    pub fn per_duration_f1(&self) -> Vec<f64> {
+        per_class_f1(&self.confusion_duration)
+    }
+
+    /// Unweighted mean of the per-department F1 scores (macro-F1).
+    pub fn macro_f1_cu(&self) -> f64 {
+        pfp_math::stats::mean(&self.per_cu_f1())
+    }
+
+    /// Unweighted mean of the per-duration-class F1 scores.
+    pub fn macro_f1_duration(&self) -> f64 {
+        pfp_math::stats::mean(&self.per_duration_f1())
+    }
+
     /// Element-wise average of several reports (confusions are summed).
     pub fn average(reports: &[AccuracyReport]) -> AccuracyReport {
         assert!(!reports.is_empty(), "cannot average zero reports");
@@ -66,7 +90,11 @@ impl AccuracyReport {
                     *a += b;
                 }
             }
-            for (ra, rb) in avg.confusion_duration.iter_mut().zip(r.confusion_duration.iter()) {
+            for (ra, rb) in avg
+                .confusion_duration
+                .iter_mut()
+                .zip(r.confusion_duration.iter())
+            {
                 for (a, b) in ra.iter_mut().zip(rb.iter()) {
                     *a += b;
                 }
@@ -74,6 +102,24 @@ impl AccuracyReport {
         }
         avg
     }
+}
+
+fn per_class_f1(confusion: &[Vec<usize>]) -> Vec<f64> {
+    let n = confusion.len();
+    (0..n)
+        .map(|c| {
+            let tp = confusion[c][c];
+            let actual: usize = confusion[c].iter().sum();
+            let predicted: usize = confusion.iter().map(|row| row[c]).sum();
+            // 2·TP / (actual + predicted) is the harmonic-mean F1 without
+            // intermediate NaN-prone precision/recall divisions.
+            if actual + predicted == 0 {
+                0.0
+            } else {
+                2.0 * tp as f64 / (actual + predicted) as f64
+            }
+        })
+        .collect()
 }
 
 /// Evaluate a trained predictor on the samples of a (test) dataset.
@@ -102,11 +148,19 @@ fn report_from_confusions(
         for (true_class, row) in confusion.iter().enumerate() {
             let class_total: usize = row.iter().sum();
             let correct = row[true_class];
-            per.push(if class_total == 0 { 0.0 } else { correct as f64 / class_total as f64 });
+            per.push(if class_total == 0 {
+                0.0
+            } else {
+                correct as f64 / class_total as f64
+            });
             correct_total += correct;
             total += class_total;
         }
-        let overall = if total == 0 { 0.0 } else { correct_total as f64 / total as f64 };
+        let overall = if total == 0 {
+            0.0
+        } else {
+            correct_total as f64 / total as f64
+        };
         (per, overall)
     };
     let (per_cu, overall_cu) = per_class(&confusion_cu);
@@ -150,7 +204,10 @@ mod tests {
             MethodId::Mc
         }
         fn predict_sample(&self, _sample: &RawSample) -> Prediction {
-            Prediction { cu: self.0, duration: self.1 }
+            Prediction {
+                cu: self.0,
+                duration: self.1,
+            }
         }
     }
 
@@ -162,7 +219,10 @@ mod tests {
             MethodId::Dmcp
         }
         fn predict_sample(&self, sample: &RawSample) -> Prediction {
-            Prediction { cu: sample.cu_label, duration: sample.duration_label }
+            Prediction {
+                cu: sample.cu_label,
+                duration: sample.duration_label,
+            }
         }
     }
 
@@ -233,5 +293,88 @@ mod tests {
     #[should_panic(expected = "cannot average zero reports")]
     fn average_rejects_empty_input() {
         let _ = AccuracyReport::average(&[]);
+    }
+
+    // --- degenerate inputs: metrics must stay finite and panic-free ---
+
+    fn empty_dataset() -> Dataset {
+        Dataset {
+            samples: vec![],
+            patients: vec![],
+            profile_dim: 2,
+            service_dim: 3,
+            num_cus: 4,
+            num_durations: 3,
+            mean_dwell_days: 1.0,
+        }
+    }
+
+    /// A dataset whose samples all carry the same `(cu, duration)` label.
+    fn single_class_dataset(label: usize) -> Dataset {
+        let mut ds = dataset();
+        for s in &mut ds.samples {
+            s.cu_label = label;
+            s.duration_label = 0;
+        }
+        ds
+    }
+
+    fn assert_finite_report(report: &AccuracyReport) {
+        assert!(report.overall_cu.is_finite());
+        assert!(report.overall_duration.is_finite());
+        assert!(report.per_cu.iter().all(|v| v.is_finite()));
+        assert!(report.per_duration.iter().all(|v| v.is_finite()));
+        assert!(report.per_cu_f1().iter().all(|v| v.is_finite()));
+        assert!(report.per_duration_f1().iter().all(|v| v.is_finite()));
+        assert!(report.macro_f1_cu().is_finite());
+        assert!(report.macro_f1_duration().is_finite());
+    }
+
+    #[test]
+    fn empty_test_set_yields_zero_not_nan() {
+        let ds = empty_dataset();
+        let report = evaluate(&Constant(0, 0), &ds);
+        assert_eq!(report.num_samples, 0);
+        assert_eq!(report.overall_cu, 0.0);
+        assert_eq!(report.overall_duration, 0.0);
+        assert_eq!(report.macro_f1_cu(), 0.0);
+        assert_finite_report(&report);
+    }
+
+    #[test]
+    fn single_class_cohort_yields_finite_scores_for_matching_predictor() {
+        let ds = single_class_dataset(2);
+        let report = evaluate(&Constant(2, 0), &ds);
+        assert!((report.overall_cu - 1.0).abs() < 1e-12);
+        assert!((report.per_cu_f1()[2] - 1.0).abs() < 1e-12);
+        // Absent classes: no samples, no predictions — 0, not NaN.
+        assert_eq!(report.per_cu_f1()[0], 0.0);
+        assert_finite_report(&report);
+    }
+
+    #[test]
+    fn single_class_cohort_yields_finite_scores_for_mismatching_predictor() {
+        let ds = single_class_dataset(2);
+        // Predicts a class that never occurs: precision and recall are both
+        // degenerate for every class.
+        let report = evaluate(&Constant(0, 1), &ds);
+        assert_eq!(report.overall_cu, 0.0);
+        assert_eq!(report.macro_f1_cu(), 0.0);
+        assert_finite_report(&report);
+    }
+
+    #[test]
+    fn oracle_macro_f1_is_one_over_present_classes_only() {
+        let ds = dataset();
+        let report = evaluate(&Oracle, &ds);
+        let (cu_counts, _) = ds.label_counts();
+        for (c, &count) in cu_counts.iter().enumerate() {
+            if count > 0 {
+                assert!((report.per_cu_f1()[c] - 1.0).abs() < 1e-12);
+            } else {
+                assert_eq!(report.per_cu_f1()[c], 0.0);
+            }
+        }
+        assert_finite_report(&report);
     }
 }

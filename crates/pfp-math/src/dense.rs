@@ -22,7 +22,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from a closure over `(row, col)`.
@@ -134,15 +138,33 @@ impl Matrix {
     /// Return `self - other` as a new matrix.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
-        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Return `self + other` as a new matrix.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
-        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm `sqrt(Σ a_ij²)`.
@@ -178,7 +200,9 @@ impl Matrix {
     /// Number of rows whose `ℓ2` norm is exactly zero (fully suppressed
     /// feature groups after the group-lasso proximal step).
     pub fn zero_rows(&self) -> usize {
-        (0..self.rows).filter(|&r| self.row(r).iter().all(|&x| x == 0.0)).count()
+        (0..self.rows)
+            .filter(|&r| self.row(r).iter().all(|&x| x == 0.0))
+            .count()
     }
 
     /// `out[k] += alpha * self[r][k]` for all columns `k`.
@@ -215,8 +239,8 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            self.axpy_row_into(r, x[r], &mut out);
+        for (r, &xr) in x.iter().enumerate() {
+            self.axpy_row_into(r, xr, &mut out);
         }
         out
     }
@@ -280,7 +304,11 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             }
         }
     }
-    Some((0..n).map(|r| aug[r * (n + 1) + n] / aug[r * (n + 1) + r]).collect())
+    Some(
+        (0..n)
+            .map(|r| aug[r * (n + 1) + n] / aug[r * (n + 1) + r])
+            .collect(),
+    )
 }
 
 /// Dot product of two equal-length slices.

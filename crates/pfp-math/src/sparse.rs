@@ -20,7 +20,11 @@ pub struct SparseVec {
 impl SparseVec {
     /// Empty sparse vector of dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, indices: Vec::new(), values: Vec::new() }
+        Self {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from parallel `(index, value)` lists.
@@ -42,7 +46,11 @@ impl SparseVec {
             indices.push(i);
             values.push(v);
         }
-        let mut out = Self { dim, indices, values };
+        let mut out = Self {
+            dim,
+            indices,
+            values,
+        };
         out.prune_zeros();
         out
     }
@@ -72,7 +80,10 @@ impl SparseVec {
 
     /// Iterate `(index, value)` pairs in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at `index` (zero when absent).
@@ -147,9 +158,14 @@ impl SparseVec {
         self.values.iter().sum()
     }
 
+    /// Squared Euclidean norm of the vector.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>()
+    }
+
     /// Euclidean norm of the vector.
     pub fn l2_norm(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.norm_sq().sqrt()
     }
 
     /// Densify into a `Vec<f64>` of length `dim`.
@@ -192,7 +208,11 @@ impl SparseVec {
         let mut values = self.values.clone();
         indices.extend(other.indices.iter().map(|&i| i + self.dim as u32));
         values.extend(other.values.iter().copied());
-        SparseVec { dim, indices, values }
+        SparseVec {
+            dim,
+            indices,
+            values,
+        }
     }
 
     /// Multiply every stored value by `alpha`.

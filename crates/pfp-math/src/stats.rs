@@ -88,12 +88,19 @@ pub struct Contingency {
 impl Contingency {
     /// Empty `rows × cols` table.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, counts: vec![0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            counts: vec![0; rows * cols],
+        }
     }
 
     /// Increment cell `(r, c)`.
     pub fn add(&mut self, r: usize, c: usize) {
-        assert!(r < self.rows && c < self.cols, "contingency index out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "contingency index out of range"
+        );
         self.counts[r * self.cols + c] += 1;
     }
 
@@ -109,12 +116,16 @@ impl Contingency {
 
     /// Row marginal counts.
     pub fn row_totals(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| (0..self.cols).map(|c| self.get(r, c)).sum()).collect()
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c)).sum())
+            .collect()
     }
 
     /// Column marginal counts.
     pub fn col_totals(&self) -> Vec<usize> {
-        (0..self.cols).map(|c| (0..self.rows).map(|r| self.get(r, c)).sum()).collect()
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self.get(r, c)).sum())
+            .collect()
     }
 
     /// Distribution of rows within column `c` (normalised to sum to one).

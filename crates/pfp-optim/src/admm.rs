@@ -25,6 +25,15 @@ pub trait SmoothObjective {
     fn gradient(&self, theta: &Matrix, grad: &mut Matrix);
     /// Parameter shape `(rows, cols)`.
     fn shape(&self) -> (usize, usize);
+    /// Per-row curvature bounds `L_r` (one per parameter row), if cheap to
+    /// compute. The Θ-update caps row `r`'s step size at `1 / (L_r + ρ)`,
+    /// which acts as a diagonal preconditioner: a schedule tuned for
+    /// well-scaled features cannot diverge on rows whose features carry
+    /// physical units (e.g. the day-scaled `g(t) = t − t_I` block of the
+    /// mutually-correcting map), while well-scaled rows keep the full step.
+    fn row_curvature_bounds(&self) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// ADMM hyper-parameters (defaults follow Section 4.4 of the paper).
@@ -91,6 +100,19 @@ pub fn solve_group_lasso<O: SmoothObjective>(
     let mut trace = Vec::with_capacity(config.max_outer_iters + 1);
     trace.push(objective.value(&theta) + config.gamma * x.l12_norm());
 
+    // Row r of the augmented Lagrangian has curvature at most L_r + ρ, so
+    // steps beyond 1/(L_r + ρ) overshoot; cap the schedule per row when the
+    // objective can bound its curvature. The bounds depend only on the data,
+    // so compute them once for the whole solve.
+    let row_caps = objective.row_curvature_bounds().map(|ls| {
+        ls.iter()
+            .map(|l| 1.0 / (l + config.rho))
+            .collect::<Vec<f64>>()
+    });
+    if let Some(caps) = &row_caps {
+        assert_eq!(caps.len(), rows, "row curvature bound length mismatch");
+    }
+
     let mut converged = false;
     let mut outer_done = 0;
     for outer in 0..config.max_outer_iters {
@@ -101,8 +123,12 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         for inner in 0..config.max_inner_iters {
             objective.gradient(&theta, &mut grad);
             // ∇ of (ρ/2)‖Θ − X + Y‖² is ρ(Θ − X + Y).
-            let step = config.learning_rate.at(inner);
+            let schedule_step = config.learning_rate.at(inner);
             for r in 0..rows {
+                let step = match &row_caps {
+                    Some(caps) => schedule_step.min(caps[r]),
+                    None => schedule_step,
+                };
                 for c in 0..cols {
                     let aug = config.rho * (theta.get(r, c) - x.get(r, c) + y.get(r, c));
                     theta.add_at(r, c, -step * (grad.get(r, c) + aug));
@@ -131,7 +157,13 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         }
     }
 
-    AdmmResult { theta, x, objective_trace: trace, outer_iterations: outer_done, converged }
+    AdmmResult {
+        theta,
+        x,
+        objective_trace: trace,
+        outer_iterations: outer_done,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -169,10 +201,12 @@ mod tests {
         fn value(&self, theta: &Matrix) -> f64 {
             let mut loss = 0.0;
             for (x, &y) in self.xs.iter().zip(self.ys.iter()) {
-                let scores: Vec<f64> = (0..2).map(|k| {
-                    let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
-                    dot(x, &col)
-                }).collect();
+                let scores: Vec<f64> = (0..2)
+                    .map(|k| {
+                        let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
+                        dot(x, &col)
+                    })
+                    .collect();
                 loss += pfp_math::softmax::cross_entropy(&scores, y);
             }
             loss
@@ -180,15 +214,17 @@ mod tests {
         fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
             grad.fill(0.0);
             for (x, &y) in self.xs.iter().zip(self.ys.iter()) {
-                let scores: Vec<f64> = (0..2).map(|k| {
-                    let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
-                    dot(x, &col)
-                }).collect();
+                let scores: Vec<f64> = (0..2)
+                    .map(|k| {
+                        let col: Vec<f64> = (0..self.dims).map(|m| theta.get(m, k)).collect();
+                        dot(x, &col)
+                    })
+                    .collect();
                 let p = pfp_math::softmax::softmax(&scores);
-                for k in 0..2 {
-                    let coef = p[k] - if k == y { 1.0 } else { 0.0 };
-                    for m in 0..self.dims {
-                        grad.add_at(m, k, coef * x[m]);
+                for (k, &pk) in p.iter().enumerate() {
+                    let coef = pk - if k == y { 1.0 } else { 0.0 };
+                    for (m, &xm) in x.iter().enumerate() {
+                        grad.add_at(m, k, coef * xm);
                     }
                 }
             }
@@ -212,9 +248,15 @@ mod tests {
     #[test]
     fn without_regulariser_admm_recovers_the_target() {
         let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
-        let obj = QuadraticToTarget { target: target.clone() };
+        let obj = QuadraticToTarget {
+            target: target.clone(),
+        };
         let res = solve_group_lasso(&obj, Matrix::zeros(3, 2), &fast_config(0.0));
-        assert!(res.theta.sub(&target).frobenius_norm() < 1e-2, "diff = {}", res.theta.sub(&target).frobenius_norm());
+        assert!(
+            res.theta.sub(&target).frobenius_norm() < 1e-2,
+            "diff = {}",
+            res.theta.sub(&target).frobenius_norm()
+        );
     }
 
     #[test]
@@ -236,8 +278,12 @@ mod tests {
         let analytic = crate::prox::prox_group_lasso(&target, gamma);
         let obj = QuadraticToTarget { target };
         let res = solve_group_lasso(&obj, Matrix::zeros(2, 2), &fast_config(gamma));
-        assert!(res.x.sub(&analytic).frobenius_norm() < 0.05,
-            "x = {:?}, analytic = {:?}", res.x, analytic);
+        assert!(
+            res.x.sub(&analytic).frobenius_norm() < 0.05,
+            "x = {:?}, analytic = {:?}",
+            res.x,
+            analytic
+        );
     }
 
     #[test]
@@ -259,7 +305,11 @@ mod tests {
             vec![1.0, -1.0, 0.0],
         ];
         let ys = vec![0, 0, 1, 1];
-        let obj = TinyLogistic { xs: xs.clone(), ys: ys.clone(), dims: 3 };
+        let obj = TinyLogistic {
+            xs: xs.clone(),
+            ys: ys.clone(),
+            dims: 3,
+        };
         let res = solve_group_lasso(&obj, Matrix::zeros(3, 2), &fast_config(0.01));
         // Predictions should match the labels.
         for (x, &y) in xs.iter().zip(ys.iter()) {
@@ -275,8 +325,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "rho must be positive")]
     fn rejects_non_positive_rho() {
-        let obj = QuadraticToTarget { target: Matrix::zeros(1, 1) };
-        let cfg = AdmmConfig { rho: 0.0, ..fast_config(0.1) };
+        let obj = QuadraticToTarget {
+            target: Matrix::zeros(1, 1),
+        };
+        let cfg = AdmmConfig {
+            rho: 0.0,
+            ..fast_config(0.1)
+        };
         let _ = solve_group_lasso(&obj, Matrix::zeros(1, 1), &cfg);
     }
 }

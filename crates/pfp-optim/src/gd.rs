@@ -30,7 +30,10 @@ impl LearningRate {
 
     /// The paper's default: `1e-4 / (1 + k)`.
     pub fn paper_default() -> Self {
-        LearningRate::InverseDecay { initial: 1e-4, decay: 1.0 }
+        LearningRate::InverseDecay {
+            initial: 1e-4,
+            decay: 1.0,
+        }
     }
 }
 
@@ -84,7 +87,12 @@ pub fn minimize_vector(
             break;
         }
     }
-    GdResult { x, objective_trace: trace, iterations, converged }
+    GdResult {
+        x,
+        objective_trace: trace,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +108,10 @@ mod tests {
 
     #[test]
     fn inverse_decay_halves_at_matching_iteration() {
-        let lr = LearningRate::InverseDecay { initial: 0.2, decay: 1.0 };
+        let lr = LearningRate::InverseDecay {
+            initial: 0.2,
+            decay: 1.0,
+        };
         assert!((lr.at(0) - 0.2).abs() < 1e-15);
         assert!((lr.at(1) - 0.1).abs() < 1e-15);
         assert!(lr.at(100) < lr.at(10));
@@ -118,8 +129,16 @@ mod tests {
         let res = minimize_vector(
             vec![0.0; 3],
             |x| {
-                let v: f64 = x.iter().zip(target.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
-                let g: Vec<f64> = x.iter().zip(target.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
+                let v: f64 = x
+                    .iter()
+                    .zip(target.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                let g: Vec<f64> = x
+                    .iter()
+                    .zip(target.iter())
+                    .map(|(a, b)| 2.0 * (a - b))
+                    .collect();
                 (v, g)
             },
             LearningRate::Constant(0.1),

@@ -37,16 +37,35 @@ impl EventSequence {
     /// Panics if events are not sorted by time, a time is not finite and
     /// positive, a time exceeds the horizon, or a mark is `>= num_marks`.
     pub fn new(events: Vec<Event>, horizon: f64, num_marks: usize) -> Self {
-        assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive and finite");
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "horizon must be positive and finite"
+        );
         let mut prev = 0.0;
         for e in &events {
-            assert!(e.time.is_finite() && e.time > 0.0, "event times must be positive, got {}", e.time);
+            assert!(
+                e.time.is_finite() && e.time > 0.0,
+                "event times must be positive, got {}",
+                e.time
+            );
             assert!(e.time >= prev, "events must be sorted by time");
-            assert!(e.time <= horizon, "event time {} exceeds horizon {horizon}", e.time);
-            assert!(e.mark < num_marks, "mark {} out of range {num_marks}", e.mark);
+            assert!(
+                e.time <= horizon,
+                "event time {} exceeds horizon {horizon}",
+                e.time
+            );
+            assert!(
+                e.mark < num_marks,
+                "mark {} out of range {num_marks}",
+                e.mark
+            );
             prev = e.time;
         }
-        Self { events, horizon, num_marks }
+        Self {
+            events,
+            horizon,
+            num_marks,
+        }
     }
 
     /// Empty sequence over `(0, horizon]`.
@@ -92,7 +111,11 @@ impl EventSequence {
 
     /// Counting process restricted to one mark.
     pub fn count_mark_at(&self, mark: usize, t: f64) -> usize {
-        self.events.iter().take_while(|e| e.time <= t).filter(|e| e.mark == mark).count()
+        self.events
+            .iter()
+            .take_while(|e| e.time <= t)
+            .filter(|e| e.mark == mark)
+            .count()
     }
 
     /// Time of the last event strictly before `t`, or `0.0` if none

@@ -32,7 +32,11 @@ pub struct HawkesFitConfig {
 
 impl Default for HawkesFitConfig {
     fn default() -> Self {
-        Self { decay: 1.0, max_iters: 200, tolerance: 1e-6 }
+        Self {
+            decay: 1.0,
+            max_iters: 200,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -51,8 +55,15 @@ impl MultivariateHawkes {
         assert!(k > 0, "at least one mark required");
         assert_eq!(adjacency.shape(), (k, k), "adjacency must be K×K");
         assert!(decay > 0.0, "decay must be positive");
-        assert!(mu.iter().all(|&m| m >= 0.0), "base rates must be non-negative");
-        Self { mu, adjacency, decay }
+        assert!(
+            mu.iter().all(|&m| m >= 0.0),
+            "base rates must be non-negative"
+        );
+        Self {
+            mu,
+            adjacency,
+            decay,
+        }
     }
 
     /// Base rates `μ`.
@@ -80,14 +91,17 @@ impl MultivariateHawkes {
     pub fn intensity(&self, k: usize, t: f64, seq: &EventSequence) -> f64 {
         let mut lambda = self.mu[k];
         for e in seq.history_before(t) {
-            lambda += self.adjacency.get(k, e.mark) * self.decay * (-(self.decay) * (t - e.time)).exp();
+            lambda +=
+                self.adjacency.get(k, e.mark) * self.decay * (-(self.decay) * (t - e.time)).exp();
         }
         lambda.max(1e-12)
     }
 
     /// All per-mark intensities at `t`.
     pub fn intensities(&self, t: f64, seq: &EventSequence) -> Vec<f64> {
-        (0..self.num_marks()).map(|k| self.intensity(k, t, seq)).collect()
+        (0..self.num_marks())
+            .map(|k| self.intensity(k, t, seq))
+            .collect()
     }
 
     /// `∫_a^b λ_k(s) ds` given the (fixed) history of `seq` before `a`.
@@ -151,7 +165,11 @@ impl MultivariateHawkes {
     /// re-estimates `μ` and `A` in closed form from those responsibilities.
     /// The updates are monotone in likelihood and keep all parameters
     /// non-negative.
-    pub fn fit(sequences: &[EventSequence], num_marks: usize, config: &HawkesFitConfig) -> FittedHawkes {
+    pub fn fit(
+        sequences: &[EventSequence],
+        num_marks: usize,
+        config: &HawkesFitConfig,
+    ) -> FittedHawkes {
         assert!(!sequences.is_empty(), "need at least one sequence to fit");
         let total_time: f64 = sequences.iter().map(|s| s.horizon()).sum();
         let omega = config.decay;
@@ -204,13 +222,16 @@ impl MultivariateHawkes {
                 }
             }
 
-            for k in 0..num_marks {
-                model.mu[k] = (mu_resp[k] / total_time.max(1e-9)).max(1e-9);
+            for (mu, &resp) in model.mu.iter_mut().zip(mu_resp.iter()) {
+                *mu = (resp / total_time.max(1e-9)).max(1e-9);
             }
             for k in 0..num_marks {
-                for j in 0..num_marks {
-                    let denom = a_exposure[j];
-                    let value = if denom > 1e-9 { a_resp.get(k, j) / denom } else { 0.0 };
+                for (j, &denom) in a_exposure.iter().enumerate() {
+                    let value = if denom > 1e-9 {
+                        a_resp.get(k, j) / denom
+                    } else {
+                        0.0
+                    };
                     model.adjacency.set(k, j, value);
                 }
             }
@@ -224,7 +245,11 @@ impl MultivariateHawkes {
             }
             prev_ll = ll;
         }
-        FittedHawkes { model, log_likelihood: prev_ll, trace: ll_trace }
+        FittedHawkes {
+            model,
+            log_likelihood: prev_ll,
+            trace: ll_trace,
+        }
     }
 
     /// Simulate one sample path by thinning (used in tests and for
@@ -274,7 +299,12 @@ mod tests {
     fn toy_sequences() -> Vec<EventSequence> {
         vec![
             EventSequence::new(
-                vec![Event::new(1.0, 0), Event::new(1.5, 1), Event::new(4.0, 0), Event::new(4.2, 1)],
+                vec![
+                    Event::new(1.0, 0),
+                    Event::new(1.5, 1),
+                    Event::new(4.0, 0),
+                    Event::new(4.2, 1),
+                ],
                 10.0,
                 2,
             ),
@@ -322,7 +352,8 @@ mod tests {
         let seq = crate::simulate::simulate_homogeneous_poisson(&[0.5, 0.5], 400.0, &mut rng);
         let seqs = vec![seq];
         let ll = |rate: f64| {
-            MultivariateHawkes::new(vec![rate, rate], Matrix::zeros(2, 2), 1.0).log_likelihood(&seqs)
+            MultivariateHawkes::new(vec![rate, rate], Matrix::zeros(2, 2), 1.0)
+                .log_likelihood(&seqs)
         };
         assert!(ll(0.5) > ll(0.1));
         assert!(ll(0.5) > ll(2.0));
@@ -331,7 +362,14 @@ mod tests {
     #[test]
     fn fit_improves_log_likelihood_monotonically_enough() {
         let seqs = toy_sequences();
-        let fitted = MultivariateHawkes::fit(&seqs, 2, &HawkesFitConfig { max_iters: 50, ..Default::default() });
+        let fitted = MultivariateHawkes::fit(
+            &seqs,
+            2,
+            &HawkesFitConfig {
+                max_iters: 50,
+                ..Default::default()
+            },
+        );
         assert!(fitted.trace.last().unwrap() >= fitted.trace.first().unwrap());
         assert!(fitted.model.mu().iter().all(|&m| m >= 0.0));
     }
@@ -341,7 +379,14 @@ mod tests {
         let mut rng = seeded_rng(22);
         let truth = MultivariateHawkes::new(vec![0.3, 0.1], Matrix::from_fn(2, 2, |_, _| 0.2), 1.0);
         let seqs: Vec<EventSequence> = (0..20).map(|_| truth.simulate(100.0, &mut rng)).collect();
-        let fitted = MultivariateHawkes::fit(&seqs, 2, &HawkesFitConfig { max_iters: 150, ..Default::default() });
+        let fitted = MultivariateHawkes::fit(
+            &seqs,
+            2,
+            &HawkesFitConfig {
+                max_iters: 150,
+                ..Default::default()
+            },
+        );
         // Mark 0 has the higher base rate in truth; the fit should preserve that ordering.
         assert!(
             fitted.model.mu()[0] > fitted.model.mu()[1],

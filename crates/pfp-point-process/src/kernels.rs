@@ -141,7 +141,9 @@ impl ParametricIntensity {
 
     /// Conditional intensities of every mark at time `t`.
     pub fn intensities(&self, t: f64, history: &[Event]) -> Vec<f64> {
-        (0..self.num_marks()).map(|k| self.intensity(k, t, history)).collect()
+        (0..self.num_marks())
+            .map(|k| self.intensity(k, t, history))
+            .collect()
     }
 
     /// Total intensity `Σ_k λ_k(t)`.
@@ -154,7 +156,14 @@ impl ParametricIntensity {
     ///
     /// Used by the Hawkes-style prediction rule
     /// `argmax_{(c,d)} ∫_{t+d-1}^{t+d} λ_c(s) ds`.
-    pub fn integrate_intensity(&self, k: usize, a: f64, b: f64, steps: usize, history: &[Event]) -> f64 {
+    pub fn integrate_intensity(
+        &self,
+        k: usize,
+        a: f64,
+        b: f64,
+        steps: usize,
+        history: &[Event],
+    ) -> f64 {
         assert!(b >= a, "integration bounds must be ordered");
         assert!(steps >= 1, "at least one integration step required");
         let h = (b - a) / steps as f64;
@@ -292,6 +301,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "beta must be K×K")]
     fn new_rejects_mismatched_beta() {
-        let _ = ParametricIntensity::new(KernelKind::SelfCorrecting, vec![1.0, 2.0], Matrix::zeros(1, 1));
+        let _ = ParametricIntensity::new(
+            KernelKind::SelfCorrecting,
+            vec![1.0, 2.0],
+            Matrix::zeros(1, 1),
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct ThinningConfig {
 
 impl Default for ThinningConfig {
     fn default() -> Self {
-        Self { window: 1.0, safety: 1.5, max_events: 10_000 }
+        Self {
+            window: 1.0,
+            safety: 1.5,
+            max_events: 10_000,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ pub fn simulate(
     rng: &mut impl Rng,
     config: &ThinningConfig,
 ) -> EventSequence {
-    assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+    assert!(
+        horizon > 0.0 && horizon.is_finite(),
+        "horizon must be positive"
+    );
     let mut events: Vec<Event> = Vec::new();
     let mut t = 0.0_f64;
 
@@ -85,7 +92,10 @@ pub fn simulate_homogeneous_poisson(
     rng: &mut impl Rng,
 ) -> EventSequence {
     assert!(!rates.is_empty(), "at least one rate required");
-    assert!(rates.iter().all(|&r| r >= 0.0), "rates must be non-negative");
+    assert!(
+        rates.iter().all(|&r| r >= 0.0),
+        "rates must be non-negative"
+    );
     let total: f64 = rates.iter().sum();
     let mut events = Vec::new();
     if total > 0.0 {
@@ -137,14 +147,14 @@ mod tests {
     #[test]
     fn thinning_of_constant_intensity_matches_poisson_rate() {
         // Modulated Poisson with beta = 0 is a homogeneous Poisson process.
-        let pi = ParametricIntensity::new(
-            KernelKind::ModulatedPoisson,
-            vec![0.8],
-            Matrix::zeros(1, 1),
-        );
+        let pi =
+            ParametricIntensity::new(KernelKind::ModulatedPoisson, vec![0.8], Matrix::zeros(1, 1));
         let mut rng = seeded_rng(14);
         let horizon = 1500.0;
-        let cfg = ThinningConfig { max_events: 100_000, ..Default::default() };
+        let cfg = ThinningConfig {
+            max_events: 100_000,
+            ..Default::default()
+        };
         let seq = simulate(&pi, horizon, &mut rng, &cfg);
         let rate = seq.len() as f64 / horizon;
         assert!((rate - 0.8).abs() < 0.08, "rate = {rate}");
@@ -175,7 +185,10 @@ mod tests {
             Matrix::zeros(1, 1),
         );
         let mut rng = seeded_rng(16);
-        let cfg = ThinningConfig { max_events: 50, ..Default::default() };
+        let cfg = ThinningConfig {
+            max_events: 50,
+            ..Default::default()
+        };
         let seq = simulate(&pi, 1000.0, &mut rng, &cfg);
         assert_eq!(seq.len(), 50);
     }
@@ -190,7 +203,10 @@ mod tests {
             Matrix::from_vec(1, 1, vec![1.0]),
         );
         let mut rng = seeded_rng(17);
-        let cfg = ThinningConfig { window: 0.5, ..Default::default() };
+        let cfg = ThinningConfig {
+            window: 0.5,
+            ..Default::default()
+        };
         let seq = simulate(&pi, 300.0, &mut rng, &cfg);
         assert!(seq.len() > 50);
         let gaps = seq.inter_event_times();

@@ -24,7 +24,8 @@ fn main() {
     for multiplier in [0.0, 0.1, 1.0, 10.0, 50.0] {
         let config = base.with_gamma(base.gamma * multiplier);
         let model = DmcpModel::train(&dataset, &config);
-        let selected: std::collections::HashSet<usize> = model.selected_features().into_iter().collect();
+        let selected: std::collections::HashSet<usize> =
+            model.selected_features().into_iter().collect();
         let count_in = |domain: FeatureDomain| {
             (0..dict.total_dim())
                 .filter(|&i| dict.domain_of_combined(i) == domain && selected.contains(&i))

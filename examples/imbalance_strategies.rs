@@ -24,20 +24,38 @@ fn main() {
     let rare_units = [CareUnit::Acu, CareUnit::Ficu, CareUnit::Tsicu];
 
     let variants: Vec<(&str, Box<dyn FlowPredictor>)> = vec![
-        ("DMCP  (no pre-processing)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Dmcp))),
-        ("WDMCP (weighted data)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Wdmcp))),
-        ("HDMCP (hierarchical)", Box::new(HierarchicalPredictor::train(&train, &base))),
-        ("SDMCP (synthetic data)", Box::new(DmcpPredictor::train(&train, &base, MethodId::Sdmcp))),
+        (
+            "DMCP  (no pre-processing)",
+            Box::new(DmcpPredictor::train(&train, &base, MethodId::Dmcp)),
+        ),
+        (
+            "WDMCP (weighted data)",
+            Box::new(DmcpPredictor::train(&train, &base, MethodId::Wdmcp)),
+        ),
+        (
+            "HDMCP (hierarchical)",
+            Box::new(HierarchicalPredictor::train(&train, &base)),
+        ),
+        (
+            "SDMCP (synthetic data)",
+            Box::new(DmcpPredictor::train(&train, &base, MethodId::Sdmcp)),
+        ),
     ];
 
-    println!("{:<28} {:>8} {:>8} {:>8}   {:>8} {:>8}", "variant", "ACU", "FICU", "TSICU", "AC_C", "AC_D");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}   {:>8} {:>8}",
+        "variant", "ACU", "FICU", "TSICU", "AC_C", "AC_D"
+    );
     for (name, predictor) in &variants {
         let report = evaluate(predictor.as_ref(), &test);
         print!("{name:<28}");
         for unit in rare_units {
             print!(" {:>8.3}", report.per_cu[unit.index()]);
         }
-        println!("   {:>8.3} {:>8.3}", report.overall_cu, report.overall_duration);
+        println!(
+            "   {:>8.3} {:>8.3}",
+            report.overall_cu, report.overall_duration
+        );
     }
     println!(
         "\nThe paper's finding: synthetic oversampling (SDMCP) lifts the rare units without\n\

@@ -5,11 +5,11 @@
 //! cargo run --example quickstart --release
 //! ```
 
+use patient_flow::baselines::{DmcpPredictor, MethodId};
 use patient_flow::core::{DmcpModel, TrainConfig};
 use patient_flow::ehr::{generate_cohort, CohortConfig};
 use patient_flow::eval::dataset::build_dataset;
 use patient_flow::eval::metrics::{evaluate, overall_cu_accuracy, overall_duration_accuracy};
-use patient_flow::baselines::{DmcpPredictor, MethodId};
 
 fn main() {
     // 1. A synthetic MIMIC-II-like cohort (see pfp-ehr for the substitution
@@ -26,7 +26,11 @@ fn main() {
     // 2. Extract transition samples and hold out 10% of patients.
     let dataset = build_dataset(&cohort);
     let (train, test) = dataset.split_holdout(0.1, 42);
-    println!("train: {} samples, test: {} samples", train.len(), test.len());
+    println!(
+        "train: {} samples, test: {} samples",
+        train.len(),
+        test.len()
+    );
 
     // 3. Train the discriminative mutually-correcting process model.
     let config = TrainConfig::paper_default();

@@ -57,7 +57,11 @@ fn dmcp_recovers_rare_unit_signal_better_than_markov() {
     let dmcp_report = evaluate(&dmcp, &test);
     let mc_report = evaluate(&markov, &test);
 
-    let rare = [CareUnit::Ficu.index(), CareUnit::Csru.index(), CareUnit::Micu.index()];
+    let rare = [
+        CareUnit::Ficu.index(),
+        CareUnit::Csru.index(),
+        CareUnit::Micu.index(),
+    ];
     let rare_sum = |report: &patient_flow::eval::metrics::AccuracyReport| {
         rare.iter().map(|&c| report.per_cu[c]).sum::<f64>()
     };
@@ -82,7 +86,10 @@ fn census_simulation_runs_for_trained_and_count_based_models() {
     for predictor in [&dmcp as &dyn FlowPredictor, &markov as &dyn FlowPredictor] {
         let census = simulate_census(predictor, &test);
         assert!(census.overall_error.is_finite());
-        assert!(census.per_cu_error.iter().all(|e| e.is_finite() && *e >= 0.0));
+        assert!(census
+            .per_cu_error
+            .iter()
+            .all(|e| e.is_finite() && *e >= 0.0));
         // The simulated totals never exceed the number of held-out patients.
         for day in 0..patient_flow::eval::census::CENSUS_DAYS {
             let total: usize = (0..8).map(|cu| census.simulated[cu][day]).sum();

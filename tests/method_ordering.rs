@@ -8,7 +8,12 @@ use patient_flow::eval::dataset::build_dataset;
 use patient_flow::eval::experiments::{feature_map_ablation, method_comparison, ComparisonConfig};
 
 fn overall_cu(results: &[patient_flow::eval::experiments::MethodResult], m: MethodId) -> f64 {
-    results.iter().find(|r| r.method == m).unwrap().accuracy.overall_cu
+    results
+        .iter()
+        .find(|r| r.method == m)
+        .unwrap()
+        .accuracy
+        .overall_cu
 }
 
 #[test]
@@ -27,9 +32,18 @@ fn feature_aware_methods_beat_feature_free_methods_on_destination_accuracy() {
     let lr = overall_cu(&results, MethodId::Lr);
     let dmcp = overall_cu(&results, MethodId::Dmcp);
 
-    assert!(lr >= mc - 0.02, "LR ({lr:.3}) should not lose to MC ({mc:.3})");
-    assert!(dmcp >= ctmc - 0.02, "DMCP ({dmcp:.3}) should not lose to CTMC ({ctmc:.3})");
-    assert!(dmcp >= mc - 0.02, "DMCP ({dmcp:.3}) should not lose to MC ({mc:.3})");
+    assert!(
+        lr >= mc - 0.02,
+        "LR ({lr:.3}) should not lose to MC ({mc:.3})"
+    );
+    assert!(
+        dmcp >= ctmc - 0.02,
+        "DMCP ({dmcp:.3}) should not lose to CTMC ({ctmc:.3})"
+    );
+    assert!(
+        dmcp >= mc - 0.02,
+        "DMCP ({dmcp:.3}) should not lose to MC ({mc:.3})"
+    );
 }
 
 #[test]
@@ -48,7 +62,10 @@ fn dmcp_feature_map_is_at_least_as_good_as_the_simpler_maps() {
         *dmcp_cu >= lr_cu - 0.03,
         "DMCP destination accuracy {dmcp_cu:.3} should not fall below LR {lr_cu:.3}"
     );
-    assert!(*dmcp_dur > 0.1, "duration head should learn something: {dmcp_dur:.3}");
+    assert!(
+        *dmcp_dur > 0.1,
+        "duration head should learn something: {dmcp_dur:.3}"
+    );
 }
 
 #[test]
@@ -56,9 +73,20 @@ fn census_error_of_dmcp_is_not_worse_than_feature_free_baselines() {
     let cohort = generate_cohort(&CohortConfig::small(303));
     let dataset = build_dataset(&cohort);
     let config = ComparisonConfig::fast(303);
-    let results = method_comparison(&dataset, &[MethodId::Mc, MethodId::Var, MethodId::Sdmcp], &config);
+    let results = method_comparison(
+        &dataset,
+        &[MethodId::Mc, MethodId::Var, MethodId::Sdmcp],
+        &config,
+    );
 
-    let err = |m: MethodId| results.iter().find(|r| r.method == m).unwrap().census.overall_error;
+    let err = |m: MethodId| {
+        results
+            .iter()
+            .find(|r| r.method == m)
+            .unwrap()
+            .census
+            .overall_error
+    };
     assert!(
         err(MethodId::Sdmcp) <= err(MethodId::Mc) + 0.05,
         "SDMCP census error {:.3} should not exceed MC {:.3} by much",

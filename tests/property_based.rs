@@ -20,6 +20,21 @@ proptest! {
         prop_assert_eq!(argmax(&p), argmax(&scores));
     }
 
+    /// Softmax probabilities are invariant under adding a constant to every
+    /// score (the normaliser absorbs the shift).
+    #[test]
+    fn softmax_is_invariant_under_constant_shift(
+        scores in proptest::collection::vec(-50.0f64..50.0, 1..20),
+        shift in -25.0f64..25.0,
+    ) {
+        let p = softmax(&scores);
+        let shifted: Vec<f64> = scores.iter().map(|s| s + shift).collect();
+        let q = softmax(&shifted);
+        for (a, b) in p.iter().zip(q.iter()) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
     /// Cross entropy is non-negative and shift-invariant.
     #[test]
     fn cross_entropy_properties(
@@ -79,6 +94,31 @@ proptest! {
         let dense = theta.matvec_t(&v.to_dense());
         for (s, d) in scores.iter().zip(dense.iter()) {
             prop_assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    /// Sparse-vector dot products against dense operands match the fully
+    /// dense arithmetic, and `Matrix::matvec` agrees with a sparse
+    /// row-by-row accumulation of the same product.
+    #[test]
+    fn dense_and_sparse_matvec_agree(
+        pairs in proptest::collection::vec((0u32..24, -5.0f64..5.0), 0..16),
+        matrix_vals in proptest::collection::vec(-3.0f64..3.0, 24 * 4),
+    ) {
+        let v = SparseVec::from_pairs(24, pairs);
+        let dense_v = v.to_dense();
+
+        // dot_dense == the plain dense inner product.
+        let expected_dot: f64 = dense_v.iter().zip(dense_v.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((v.dot_dense(&dense_v) - expected_dot).abs() < 1e-9);
+
+        // A^T v via the sparse path == A^T v via the dense path.
+        let a = Matrix::from_vec(24, 4, matrix_vals);
+        let dense_result = a.matvec_t(&dense_v);
+        let mut sparse_result = vec![0.0; 4];
+        v.accumulate_scores(&a, &mut sparse_result);
+        for (s, d) in sparse_result.iter().zip(dense_result.iter()) {
+            prop_assert!((s - d).abs() < 1e-9, "{} vs {}", s, d);
         }
     }
 

@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container cannot reach a cargo registry, so this crate provides the
+//! API surface the workspace benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with simplified semantics:
+//! each bench body is executed a small fixed number of iterations and the
+//! median wall time is printed. There is no statistical analysis, warm-up, or
+//! HTML report; the point is that `cargo bench` compiles, runs, and produces
+//! a usable smoke-level timing signal without network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per bench body (post-discard); deliberately tiny.
+const MEASURE_ITERS: usize = 5;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark, mirroring criterion's type.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One discarded call covers lazy-init effects, then a few timed runs.
+        black_box(f());
+        for _ in 0..MEASURE_ITERS {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, mut body: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    body(&mut bencher);
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("bench: {label:<48} median {median:>12.2?} ({MEASURE_ITERS} iters)");
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        run_one(name, body);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        body: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), body);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

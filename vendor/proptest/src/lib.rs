@@ -1,0 +1,105 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container cannot reach a cargo registry, so this crate implements the
+//! subset of the proptest API the workspace tests use:
+//!
+//! * the [`proptest!`] macro over `fn name(arg in strategy, ...) { body }`
+//!   items (doc comments and `#[test]` attributes pass through);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * range strategies for floats and integers, tuple strategies, constant
+//!   (`Just`-like) strategies via plain values, and
+//!   [`collection::vec`] with exact-size or `lo..hi` length ranges.
+//!
+//! Semantics: each property runs a fixed number of deterministic random
+//! cases (seeded per case index, so failures reproduce across runs and
+//! machines). There is no shrinking — the failing case's values are printed
+//! via `Debug` instead, which the small strategies here keep readable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    /// `proptest::prelude::prop` alias used for `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Number of random cases each property is checked against.
+pub const DEFAULT_CASES: u64 = 96;
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::DEFAULT_CASES {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    // Rendered eagerly: the body is free to move the inputs.
+                    let mut inputs = String::new();
+                    $(inputs.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg,
+                    ));)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}:\n{}\ninputs:\n{}",
+                            stringify!($name), case, $crate::DEFAULT_CASES, e, inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach a cargo registry, so this crate provides just
+//! enough surface for the workspace to compile: the `Serialize` /
+//! `Deserialize` trait names and the derive macros of the same names
+//! (re-exported from the local no-op `serde_derive`). No data format is
+//! implemented; the derives expand to nothing. Replacing this path dependency
+//! with real serde is source-compatible for every usage in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` annotations — no code
+//! path actually serializes anything yet. These derives therefore expand to
+//! nothing; swapping in the real `serde_derive` later requires no source
+//! changes in the workspace crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
