@@ -23,8 +23,12 @@
 //!   maps used by the baselines, so the kernel choice is the only difference).
 //! * [`dataset`] — feature/label pairs extracted from patient records.
 //! * [`loss`] — the cross-entropy loss of Eq. 6, its gradient, and sample
-//!   weighting.
-//! * [`train`] — Algorithm 1: ADMM + group lasso, plus a plain-GD path.
+//!   weighting; accumulation can be sharded over threads
+//!   ([`loss::DmcpObjective::with_threads`]) with a bitwise-deterministic
+//!   result for a fixed thread count.
+//! * [`train`](mod@train) — Algorithm 1: ADMM + group lasso, plus a plain-GD
+//!   path;
+//!   [`TrainConfig::threads`] selects the sample-parallel accumulation width.
 //! * [`model`] — the trained [`DmcpModel`]: conditional probabilities,
 //!   prediction, intensity evaluation, census simulation hooks.
 //! * [`imbalance`] — the weighted / hierarchical / synthetic pre-processing

@@ -15,7 +15,28 @@
 //!
 //! Optional per-sample weights implement the "weighted data" imbalance
 //! strategy (`w_i = 1 / log(1 + #{(c,d)})`, Section 3.3).
+//!
+//! # Parallel accumulation and determinism
+//!
+//! Both the loss and its gradient are means over independent per-sample
+//! terms, so [`DmcpObjective::with_threads`] shards the sample range into
+//! per-thread chunks ([`pfp_math::parallel::chunk_ranges`]), accumulates each
+//! chunk into a thread-local dense buffer, and combines the partials with a
+//! fixed-order tree reduction ([`pfp_math::parallel::tree_reduce_matrices`]).
+//! The contract:
+//!
+//! * **Fixed thread count ⇒ bitwise-deterministic results.** Chunk
+//!   boundaries and the reduction order are pure functions of
+//!   `(samples.len(), threads)`, so every run performs the same
+//!   floating-point operations in the same order.  `threads == 1` is
+//!   *exactly* the serial path.
+//! * **Across thread counts ⇒ agreement to rounding only.** Different
+//!   shardings sum in different orders; the results agree to ≲1e-12
+//!   (enforced by the `parallel_equivalence` property tests), not bitwise.
 
+use std::ops::Range;
+
+use pfp_math::parallel::{chunk_ranges, tree_reduce_matrices, tree_reduce_sums};
 use pfp_math::softmax::{cross_entropy, softmax};
 use pfp_math::Matrix;
 use pfp_optim::SmoothObjective;
@@ -29,6 +50,8 @@ pub struct DmcpObjective<'a> {
     num_features: usize,
     num_cus: usize,
     num_durations: usize,
+    /// Worker threads for loss/gradient accumulation (≥ 1; 1 = serial).
+    threads: usize,
 }
 
 impl<'a> DmcpObjective<'a> {
@@ -70,7 +93,24 @@ impl<'a> DmcpObjective<'a> {
             num_features,
             num_cus,
             num_durations,
+            threads: 1,
         }
+    }
+
+    /// Shard loss/gradient accumulation over `threads` worker threads.
+    ///
+    /// `0` resolves to the available parallelism; any other value is used
+    /// as-is (capped at the sample count — a cohort smaller than the thread
+    /// count simply runs one sample per thread).  See the module docs for the
+    /// determinism contract.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = pfp_math::parallel::resolve_threads(threads);
+        self
+    }
+
+    /// The resolved worker-thread count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of output columns `C + D`.
@@ -96,12 +136,15 @@ impl<'a> DmcpObjective<'a> {
         let dur = all.split_off(self.num_cus);
         (all, dur)
     }
-}
 
-impl SmoothObjective for DmcpObjective<'_> {
-    fn value(&self, theta: &Matrix) -> f64 {
+    /// Weighted loss accumulated over one contiguous sample range (not yet
+    /// divided by the total weight).  Both the serial and the sharded paths
+    /// run exactly this, so `threads == 1` reproduces the serial result
+    /// bitwise.
+    fn value_range(&self, theta: &Matrix, range: Range<usize>) -> f64 {
         let mut loss = 0.0;
-        for (i, s) in self.samples.iter().enumerate() {
+        for i in range {
+            let s = &self.samples[i];
             let (cu_scores, dur_scores) = self.scores(theta, s);
             let mut l = cross_entropy(&cu_scores, s.cu_label);
             if self.num_durations > 1 {
@@ -109,14 +152,18 @@ impl SmoothObjective for DmcpObjective<'_> {
             }
             loss += self.weight(i) * l;
         }
-        loss / self.total_weight()
+        loss
     }
 
-    fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
-        grad.fill(0.0);
+    /// Gradient contribution of one contiguous sample range, scattered into
+    /// `grad` (which the caller zeroes).  `norm` is the total weight; each
+    /// sample's softmax residual is scaled by `weight_i / norm` before the
+    /// sparse scatter, exactly as in the original serial loop.
+    fn gradient_range(&self, theta: &Matrix, range: Range<usize>, grad: &mut Matrix) {
         let norm = self.total_weight();
         let mut contrib = vec![0.0; self.num_outputs()];
-        for (i, s) in self.samples.iter().enumerate() {
+        for i in range {
+            let s = &self.samples[i];
             let (cu_scores, dur_scores) = self.scores(theta, s);
             let p_cu = softmax(&cu_scores);
             let w = self.weight(i) / norm;
@@ -134,6 +181,67 @@ impl SmoothObjective for DmcpObjective<'_> {
             }
             s.features.scatter_gradient(&contrib, grad);
         }
+    }
+
+    /// The per-thread sample ranges for the current thread count.
+    fn shards(&self) -> Vec<Range<usize>> {
+        chunk_ranges(self.samples.len(), self.threads)
+    }
+}
+
+impl SmoothObjective for DmcpObjective<'_> {
+    fn value(&self, theta: &Matrix) -> f64 {
+        let shards = self.shards();
+        let loss = if shards.len() <= 1 {
+            self.value_range(theta, 0..self.samples.len())
+        } else {
+            let partials: Vec<f64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|range| scope.spawn(move || self.value_range(theta, range)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("loss shard thread panicked"))
+                    .collect()
+            });
+            tree_reduce_sums(partials)
+        };
+        loss / self.total_weight()
+    }
+
+    fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
+        let shards = self.shards();
+        if shards.len() <= 1 {
+            grad.fill(0.0);
+            self.gradient_range(theta, 0..self.samples.len(), grad);
+            return;
+        }
+        // Sharded path: thread-local dense partials, joined in spawn order,
+        // then a fixed-order tree reduction — see the module docs for why
+        // this is bitwise-deterministic at a fixed thread count.  Threads are
+        // spawned per evaluation (~tens of µs each), which amortises against
+        // the multi-ms gradients of paper-scale cohorts but is pure overhead
+        // on tiny ones — callers with small sample sets should keep
+        // `threads = 1` (a persistent worker pool is a ROADMAP item).
+        let (rows, cols) = grad.shape();
+        let partials: Vec<Matrix> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut partial = Matrix::zeros(rows, cols);
+                        self.gradient_range(theta, range, &mut partial);
+                        partial
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gradient shard thread panicked"))
+                .collect()
+        });
+        *grad = tree_reduce_matrices(partials).expect("at least one gradient shard");
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -278,6 +386,72 @@ mod tests {
                 "degenerate head must have zero gradient"
             );
         }
+    }
+
+    #[test]
+    fn sharded_gradient_and_value_match_serial_within_rounding() {
+        let samples = toy_samples();
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.3 * (r as f64) - 0.2 * (c as f64));
+        let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let mut grad_serial = Matrix::zeros(3, 4);
+        serial.gradient(&theta, &mut grad_serial);
+        for threads in [2, 3, 4] {
+            let sharded = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(threads);
+            let mut grad_sharded = Matrix::zeros(3, 4);
+            sharded.gradient(&theta, &mut grad_sharded);
+            assert!(
+                grad_sharded.sub(&grad_serial).max_abs() <= 1e-12,
+                "threads={threads}: max abs gradient diff {}",
+                grad_sharded.sub(&grad_serial).max_abs()
+            );
+            assert!(
+                (sharded.value(&theta) - serial.value(&theta)).abs() <= 1e-12,
+                "threads={threads}: loss diff"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_samples_degenerates_to_one_sample_per_shard() {
+        let samples = toy_samples(); // 4 samples
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.1 * (r + c) as f64);
+        let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let sharded = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(64);
+        let mut a = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 4);
+        serial.gradient(&theta, &mut a);
+        sharded.gradient(&theta, &mut b);
+        assert!(b.sub(&a).max_abs() <= 1e-12);
+    }
+
+    #[test]
+    fn fixed_thread_count_is_bitwise_deterministic() {
+        let samples = toy_samples();
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.7 * (r as f64) - 0.4 * (c as f64));
+        let run = || {
+            let obj = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(3);
+            let mut grad = Matrix::zeros(3, 4);
+            obj.gradient(&theta, &mut grad);
+            (grad, obj.value(&theta))
+        };
+        let (g1, v1) = run();
+        let (g2, v2) = run();
+        assert_eq!(g1, g2, "same thread count must be bitwise reproducible");
+        assert!(v1 == v2, "loss must be bitwise reproducible");
+    }
+
+    #[test]
+    fn one_thread_is_exactly_the_serial_path() {
+        let samples = toy_samples();
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.2 * (r as f64) + 0.1 * (c as f64));
+        let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let explicit = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(1);
+        let mut a = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 4);
+        serial.gradient(&theta, &mut a);
+        explicit.gradient(&theta, &mut b);
+        assert_eq!(a, b);
+        assert!(serial.value(&theta) == explicit.value(&theta));
     }
 
     #[test]

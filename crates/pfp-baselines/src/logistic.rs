@@ -1,7 +1,8 @@
 //! The logistic-regression (LR) baseline: multinomial logistic regression on
 //! the *current* features `[f_0, f_{i}]` only, ignoring the rest of the
 //! history.  Implemented as the DMCP learner with the
-//! [`FeatureMapKind::CurrentOnly`] feature map and the group lasso disabled.
+//! [`FeatureMapKind::CurrentOnly`](pfp_core::FeatureMapKind::CurrentOnly)
+//! feature map and the group lasso disabled.
 
 use pfp_core::{Dataset, TrainConfig};
 

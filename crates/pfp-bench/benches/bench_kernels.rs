@@ -1,0 +1,61 @@
+//! Microbenchmarks of the two hot sparse kernels that dominate DMCP training:
+//! `SparseVec::accumulate_scores` (forward scores `Θ⊤ f`) and
+//! `SparseVec::scatter_gradient` (per-sample gradient scatter).  Shapes mirror
+//! a mid-size cohort: a few thousand feature rows, `C + D = 16` output
+//! columns, and a few dozen nonzeros per sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfp_math::rng::seeded_rng;
+use pfp_math::{Matrix, SparseVec};
+use rand::Rng;
+
+const DIM: usize = 2048;
+const COLS: usize = 16;
+const NNZ: usize = 48;
+const NUM_SAMPLES: usize = 2000;
+
+fn synthetic_features(seed: u64) -> Vec<SparseVec> {
+    let mut rng = seeded_rng(seed);
+    (0..NUM_SAMPLES)
+        .map(|_| {
+            SparseVec::from_pairs(
+                DIM,
+                (0..NNZ).map(|_| (rng.gen_range(0..DIM) as u32, 0.5 + rng.gen::<f64>())),
+            )
+        })
+        .collect()
+}
+
+fn kernels(c: &mut Criterion) {
+    let feats = synthetic_features(7);
+    let theta = Matrix::from_fn(DIM, COLS, |r, k| 1e-3 * (r as f64) - 1e-2 * (k as f64));
+    let contrib: Vec<f64> = (0..COLS).map(|k| 0.01 * k as f64 - 0.05).collect();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("accumulate_scores_2k_samples", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0; COLS];
+            let mut acc = 0.0;
+            for f in &feats {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                f.accumulate_scores(&theta, &mut out);
+                acc += out[0];
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.bench_function("scatter_gradient_2k_samples", |b| {
+        b.iter(|| {
+            let mut grad = Matrix::zeros(DIM, COLS);
+            for f in &feats {
+                f.scatter_gradient(&contrib, &mut grad);
+            }
+            std::hint::black_box(grad.frobenius_norm_sq())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Thread-scaling benchmark of sample-sharded DMCP training.
+//!
+//! Times a short ADMM budget (2 outer × 10 inner iterations) on a small
+//! cohort at 1/2/4/8 accumulation threads, plus one isolated gradient
+//! evaluation at each thread count.  The companion `repro_thread_scaling`
+//! binary produces the README's scaling table on a fig-2-scale cohort;
+//! this bench is the quick criterion-tracked version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfp_core::loss::DmcpObjective;
+use pfp_core::{train, Dataset, TrainConfig};
+use pfp_ehr::{generate_cohort, CohortConfig};
+use pfp_math::Matrix;
+use pfp_optim::SmoothObjective;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn parallel_train(c: &mut Criterion) {
+    let cohort = generate_cohort(&CohortConfig::small(23));
+    let dataset = Dataset::from_cohort(&cohort);
+    let mut quick = TrainConfig::fast();
+    quick.max_outer_iters = 2;
+    quick.max_inner_iters = 10;
+
+    let mut group = c.benchmark_group("parallel_train");
+    group.sample_size(10);
+    for threads in THREAD_COUNTS {
+        let config = quick.with_threads(threads);
+        group.bench_function(BenchmarkId::new("admm_2_outer_iters", threads), |b| {
+            b.iter(|| std::hint::black_box(train(&dataset, &config)));
+        });
+    }
+    group.finish();
+
+    // One gradient evaluation in isolation — the unit the sharding targets.
+    let kind = dataset.default_mcp_kind();
+    let samples = dataset.featurize(kind);
+    let rows = dataset.total_feature_dim();
+    let cols = dataset.num_cus + dataset.num_durations;
+    let theta = Matrix::from_fn(rows, cols, |r, k| 1e-3 * (r as f64) - 1e-2 * (k as f64));
+
+    let mut group = c.benchmark_group("parallel_gradient");
+    group.sample_size(10);
+    for threads in THREAD_COUNTS {
+        let objective =
+            DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
+                .with_threads(threads);
+        group.bench_function(BenchmarkId::new("full_cohort_gradient", threads), |b| {
+            let mut grad = Matrix::zeros(rows, cols);
+            b.iter(|| {
+                objective.gradient(&theta, &mut grad);
+                std::hint::black_box(grad.frobenius_norm_sq())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_train);
+criterion_main!(benches);

@@ -207,8 +207,9 @@ impl Matrix {
 
     /// `out[k] += alpha * self[r][k]` for all columns `k`.
     ///
-    /// Used to accumulate the per-class scores `Θ⊤ f_t` when iterating the
-    /// nonzero entries of a sparse feature vector.
+    /// General row primitive (used by [`Self::matvec_t`]).  The hot sparse
+    /// kernel `SparseVec::accumulate_scores` inlines this same loop against
+    /// the raw data slice — keep the two in sync.
     #[inline]
     pub fn axpy_row_into(&self, r: usize, alpha: f64, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.cols);
@@ -219,8 +220,9 @@ impl Matrix {
 
     /// `self[r][k] += alpha * contrib[k]` for all columns `k`.
     ///
-    /// Used to scatter a gradient contribution into the parameter (or
-    /// gradient) matrix for one feature dimension.
+    /// General row primitive for scattering a contribution into one feature
+    /// row.  The hot sparse kernel `SparseVec::scatter_gradient` inlines this
+    /// same loop against the raw data slice — keep the two in sync.
     #[inline]
     pub fn add_scaled_to_row(&mut self, r: usize, alpha: f64, contrib: &[f64]) {
         debug_assert_eq!(contrib.len(), self.cols);

@@ -12,12 +12,33 @@
 //!
 //! Modules:
 //! * [`dense`] — row-major `Matrix` and dense vector helpers.
-//! * [`sparse`] — `SparseVec`, a sorted sparse vector with f64 values.
+//! * [`sparse`] — `SparseVec`, a sorted sparse vector with f64 values, and
+//!   the two kernels (`accumulate_scores`, `scatter_gradient`) that dominate
+//!   DMCP training time.
 //! * [`softmax`] — log-sum-exp, stable softmax, categorical cross-entropy.
 //! * [`stats`] — mean/variance, Pearson correlation, histograms, argmax.
 //! * [`rng`] — seeded sampling helpers (categorical, Bernoulli, Gaussian).
+//! * [`parallel`] — deterministic sample sharding and fixed-order tree
+//!   reduction for parallel gradient accumulation.
+//!
+//! ## Example
+//!
+//! The workspace-wide convention is a row-major parameter matrix with one row
+//! per feature dimension and one column per output class; sparse feature
+//! vectors score against it without densifying:
+//!
+//! ```
+//! use pfp_math::{Matrix, SparseVec};
+//!
+//! let theta = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+//! let f = SparseVec::binary(3, vec![0, 2]);
+//! let mut scores = vec![0.0; 2];
+//! f.accumulate_scores(&theta, &mut scores);
+//! assert_eq!(scores, vec![2.0, 4.0]); // Θ⊤ f
+//! ```
 
 pub mod dense;
+pub mod parallel;
 pub mod rng;
 pub mod softmax;
 pub mod sparse;

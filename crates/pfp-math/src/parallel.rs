@@ -1,0 +1,196 @@
+//! Deterministic sample-sharding helpers for parallel gradient accumulation.
+//!
+//! The DMCP objective is a mean over per-sample terms, so its gradient can be
+//! accumulated in parallel: split the sample range into contiguous chunks,
+//! accumulate each chunk into a thread-local buffer, and reduce the partial
+//! buffers.  The helpers here fix *both* the chunk boundaries and the
+//! reduction order so that a parallel run is reproducible.
+//!
+//! # Determinism contract
+//!
+//! * [`chunk_ranges`] is a pure function of `(len, chunks)` — the same inputs
+//!   always produce the same split.
+//! * [`tree_reduce_matrices`] and [`tree_reduce_sums`] combine partial results
+//!   in a fixed pairwise order that depends only on the number of partials.
+//!
+//! Together these make a sharded accumulation **bitwise deterministic for a
+//! fixed thread count**: every run with `t` threads performs the exact same
+//! floating-point additions in the exact same order.  Different thread counts
+//! change the summation order, so results across thread counts agree only up
+//! to floating-point rounding (≈1e-15 relative, well under the 1e-12
+//! equivalence bound the trainer's tests enforce), not bitwise.
+
+use std::ops::Range;
+
+use crate::dense::Matrix;
+
+/// Resolve a user-facing thread-count knob: `0` means "use all available
+/// parallelism", any other value is taken literally.
+///
+/// ```
+/// assert_eq!(pfp_math::parallel::resolve_threads(4), 4);
+/// assert!(pfp_math::parallel::resolve_threads(0) >= 1);
+/// ```
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Split `0..len` into at most `chunks` contiguous, non-empty ranges of
+/// near-equal size (the first `len % chunks` ranges are one element longer).
+///
+/// Returns fewer than `chunks` ranges when `len < chunks` (one range per
+/// element), and an empty vector when `len == 0` — callers never see an empty
+/// chunk, so the degenerate "cohort smaller than thread count" case needs no
+/// special handling at the call site.
+///
+/// ```
+/// use pfp_math::parallel::chunk_ranges;
+/// assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+/// assert_eq!(chunk_ranges(2, 8).len(), 2); // degenerate: len < chunks
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Reduce partial gradient matrices into one by fixed-order pairwise folding.
+///
+/// At each level the upper half of the list is added into the lower half
+/// (`parts[i] += parts[i + ceil(n/2)]`), halving the list until one matrix
+/// remains.  The order of floating-point additions depends only on
+/// `parts.len()`, which is what makes a fixed thread count bitwise
+/// reproducible.  Returns `None` for an empty input.
+///
+/// # Panics
+/// Panics if the matrices do not all share one shape.
+pub fn tree_reduce_matrices(mut parts: Vec<Matrix>) -> Option<Matrix> {
+    let mut n = parts.len();
+    if n == 0 {
+        return None;
+    }
+    while n > 1 {
+        let stride = n - n / 2; // ceil(n / 2)
+        let (lower, rest) = parts.split_at_mut(stride);
+        // Only the active prefix `parts[..n]` participates; entries past it
+        // were already folded in at an earlier level.
+        for (a, b) in lower.iter_mut().zip(rest[..n - stride].iter()) {
+            a.add_scaled(b, 1.0);
+        }
+        n = stride;
+    }
+    parts.truncate(1);
+    parts.pop()
+}
+
+/// Reduce partial scalar sums with the same fixed pairwise order as
+/// [`tree_reduce_matrices`].
+pub fn tree_reduce_sums(mut parts: Vec<f64>) -> f64 {
+    let mut n = parts.len();
+    while n > 1 {
+        let stride = n - n / 2;
+        for i in 0..n - stride {
+            parts[i] += parts[i + stride];
+        }
+        n = stride;
+    }
+    parts.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_the_input_exactly_once() {
+        for len in [0usize, 1, 2, 7, 10, 100, 101] {
+            for chunks in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} chunks={chunks}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= chunks.max(1));
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+                }
+                // Near-equal: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_is_deterministic() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn tree_reduce_matrices_sums_all_parts() {
+        for n in 1..=9 {
+            let parts: Vec<Matrix> = (0..n)
+                .map(|i| Matrix::from_fn(3, 2, |r, c| (i * 10 + r * 2 + c) as f64))
+                .collect();
+            let expected = {
+                let mut acc = Matrix::zeros(3, 2);
+                for p in &parts {
+                    acc.add_scaled(p, 1.0);
+                }
+                acc
+            };
+            let reduced = tree_reduce_matrices(parts).expect("non-empty");
+            assert!(
+                reduced.sub(&expected).frobenius_norm() < 1e-12,
+                "n={n} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_reduce_matrices_handles_empty_and_single() {
+        assert!(tree_reduce_matrices(Vec::new()).is_none());
+        let single = vec![Matrix::from_fn(2, 2, |r, c| (r + c) as f64)];
+        let out = tree_reduce_matrices(single.clone()).unwrap();
+        assert_eq!(out, single[0]);
+    }
+
+    #[test]
+    fn tree_reduce_sums_matches_serial_sum() {
+        for n in 0..=9 {
+            let parts: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 + 1.0).collect();
+            let serial: f64 = parts.iter().sum();
+            assert!((tree_reduce_sums(parts) - serial).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_passes_explicit_counts_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -10,6 +10,22 @@ use serde::{Deserialize, Serialize};
 use crate::dense::Matrix;
 
 /// A sparse vector with sorted, unique indices.
+///
+/// Indices and values are stored as two parallel arrays (structure-of-arrays)
+/// rather than one `Vec<(u32, f64)>`: the hot kernels walk both with a single
+/// induction variable, the `u32` indices pack twice as densely in cache as
+/// padded pairs would, and the value array stays contiguous for the
+/// multiply-accumulate loops.
+///
+/// ```
+/// use pfp_math::SparseVec;
+///
+/// let v = SparseVec::from_pairs(8, vec![(6, 0.5), (1, 2.0), (6, 0.25)]);
+/// assert_eq!(v.nnz(), 2);           // duplicates merged
+/// assert_eq!(v.get(6), 0.75);       // 0.5 + 0.25
+/// assert_eq!(v.get(0), 0.0);        // absent entries read as zero
+/// assert_eq!(v.indices(), &[1, 6]); // always sorted
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SparseVec {
     dim: usize,
@@ -84,6 +100,18 @@ impl SparseVec {
             .iter()
             .copied()
             .zip(self.values.iter().copied())
+    }
+
+    /// The sorted nonzero indices (parallel to [`Self::values`]).
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The nonzero values (parallel to [`Self::indices`]).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Value at `index` (zero when absent).
@@ -180,23 +208,68 @@ impl SparseVec {
     /// Accumulate `out[k] += Σ_i value_i · theta[row_i][k]`, i.e. the per-class
     /// linear scores `Θ⊤ f` for a parameter matrix with `dim` rows.
     ///
+    /// This is one of the two kernels DMCP training spends its time in, so it
+    /// is written against the raw structure-of-arrays layout: the index and
+    /// value arrays are walked in lockstep and each touched parameter row is
+    /// read as one contiguous row-major slice, keeping the inner
+    /// multiply-accumulate loop over the `C + D` columns branch-free and
+    /// auto-vectorizable.
+    ///
     /// # Panics
     /// Panics (debug) if `theta.rows() != dim` or `out.len() != theta.cols()`.
+    ///
+    /// ```
+    /// use pfp_math::{Matrix, SparseVec};
+    ///
+    /// let theta = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    /// let f = SparseVec::from_pairs(3, vec![(0, 1.0), (2, 2.0)]);
+    /// let mut scores = vec![0.0; 2];
+    /// f.accumulate_scores(&theta, &mut scores);
+    /// assert_eq!(scores, vec![1.0 + 2.0 * 5.0, 2.0 + 2.0 * 6.0]);
+    /// ```
     pub fn accumulate_scores(&self, theta: &Matrix, out: &mut [f64]) {
         debug_assert_eq!(theta.rows(), self.dim);
         debug_assert_eq!(out.len(), theta.cols());
-        for (i, v) in self.iter() {
-            theta.axpy_row_into(i as usize, v, out);
+        let cols = theta.cols();
+        let data = theta.as_slice();
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            let base = i as usize * cols;
+            let row = &data[base..base + cols];
+            for (o, &t) in out.iter_mut().zip(row) {
+                *o += v * t;
+            }
         }
     }
 
     /// Scatter `grad[row_i][k] += value_i · contrib[k]` for every stored
     /// entry — the gradient update of a log-linear model for one sample.
+    ///
+    /// The hot counterpart of [`Self::accumulate_scores`]: each touched
+    /// gradient row is a contiguous row-major tile, updated with one
+    /// branch-free fused loop over the columns.  Accumulating into a dense
+    /// `grad` (rather than a sparse one) is what makes per-thread partial
+    /// gradients cheap to tree-reduce in the parallel trainer.
+    ///
+    /// ```
+    /// use pfp_math::{Matrix, SparseVec};
+    ///
+    /// let mut grad = Matrix::zeros(3, 2);
+    /// let f = SparseVec::from_pairs(3, vec![(1, 2.0)]);
+    /// f.scatter_gradient(&[0.5, -1.0], &mut grad);
+    /// assert_eq!(grad.row(1), &[1.0, -2.0]);
+    /// assert_eq!(grad.row(0), &[0.0, 0.0]);
+    /// ```
     pub fn scatter_gradient(&self, contrib: &[f64], grad: &mut Matrix) {
         debug_assert_eq!(grad.rows(), self.dim);
         debug_assert_eq!(contrib.len(), grad.cols());
-        for (i, v) in self.iter() {
-            grad.add_scaled_to_row(i as usize, v, contrib);
+        let cols = grad.cols();
+        let data = grad.as_mut_slice();
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            let base = i as usize * cols;
+            let row = &mut data[base..base + cols];
+            for (g, &c) in row.iter_mut().zip(contrib) {
+                *g += v * c;
+            }
         }
     }
 

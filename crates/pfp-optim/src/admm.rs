@@ -17,6 +17,12 @@ use crate::gd::LearningRate;
 use crate::prox::prox_group_lasso;
 
 /// A smooth (differentiable) objective over a parameter matrix.
+///
+/// Implementations are free to parallelise `value`/`gradient` internally
+/// (e.g. the DMCP objective shards its per-sample accumulation over scoped
+/// threads); the ADMM driver only requires that repeated evaluations at the
+/// same point return the same result, so any internal parallelism must be
+/// deterministic for a fixed configuration.
 pub trait SmoothObjective {
     /// Objective value at `theta`.
     fn value(&self, theta: &Matrix) -> f64;

@@ -1,0 +1,151 @@
+//! Property tests of the parallel-training determinism contract: sharded
+//! gradient/loss accumulation must match the serial path to within 1e-12 at
+//! any thread count, including the degenerate case of more threads than
+//! samples, and must be bitwise-reproducible for a fixed thread count.
+
+use proptest::prelude::*;
+
+use patient_flow::core::dataset::Sample;
+use patient_flow::core::loss::DmcpObjective;
+use patient_flow::core::{train, Dataset, TrainConfig};
+use patient_flow::ehr::{generate_cohort, CohortConfig};
+use patient_flow::math::parallel::chunk_ranges;
+use patient_flow::math::{Matrix, SparseVec};
+use patient_flow::optim::SmoothObjective;
+
+const DIM: usize = 12;
+const NUM_CUS: usize = 3;
+const NUM_DURATIONS: usize = 4;
+
+/// Build one sample per raw tuple: `(seed index, value, cu label, duration)`.
+/// Each sample activates two feature dimensions so gradients touch
+/// overlapping rows across samples.
+fn build_samples(raw: &[(i64, f64, i64, i64)]) -> Vec<Sample> {
+    raw.iter()
+        .enumerate()
+        .map(|(patient_id, &(idx, value, cu, dur))| {
+            let first = (idx as usize) % DIM;
+            let second = (first + 5) % DIM;
+            Sample {
+                patient_id,
+                features: SparseVec::from_pairs(
+                    DIM,
+                    vec![(first as u32, value), (second as u32, 1.0)],
+                ),
+                cu_label: (cu as usize) % NUM_CUS,
+                duration_label: (dur as usize) % NUM_DURATIONS,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Sharded accumulation matches the serial gradient and loss to ≤ 1e-12
+    /// for every thread count, including threads > samples (degenerate case:
+    /// one sample per shard).
+    #[test]
+    fn sharded_gradient_matches_serial_at_any_thread_count(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 1..40),
+        threads in 2i64..10,
+    ) {
+        let samples = build_samples(&raw);
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.05 * (r as f64) - 0.04 * (c as f64));
+
+        let serial = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS);
+        let mut grad_serial = Matrix::zeros(DIM, cols);
+        serial.gradient(&theta, &mut grad_serial);
+
+        let sharded = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS)
+            .with_threads(threads as usize);
+        let mut grad_sharded = Matrix::zeros(DIM, cols);
+        sharded.gradient(&theta, &mut grad_sharded);
+
+        let max_diff = grad_sharded.sub(&grad_serial).max_abs();
+        prop_assert!(
+            max_diff <= 1e-12,
+            "threads={} samples={} max gradient diff={:e}",
+            threads, samples.len(), max_diff
+        );
+        let loss_diff = (sharded.value(&theta) - serial.value(&theta)).abs();
+        prop_assert!(loss_diff <= 1e-12, "loss diff={:e}", loss_diff);
+    }
+
+    /// Per-sample weights shard identically to the unweighted path.
+    #[test]
+    fn sharded_gradient_matches_serial_with_weights(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 2..24),
+        weight_seed in 0.1f64..5.0,
+        threads in 2i64..7,
+    ) {
+        let samples = build_samples(&raw);
+        let weights: Vec<f64> = (0..samples.len())
+            .map(|i| weight_seed + 0.3 * (i % 4) as f64)
+            .collect();
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.02 * ((r + c) as f64));
+
+        let serial = DmcpObjective::new(&samples, Some(&weights), DIM, NUM_CUS, NUM_DURATIONS);
+        let sharded = DmcpObjective::new(&samples, Some(&weights), DIM, NUM_CUS, NUM_DURATIONS)
+            .with_threads(threads as usize);
+        let mut a = Matrix::zeros(DIM, cols);
+        let mut b = Matrix::zeros(DIM, cols);
+        serial.gradient(&theta, &mut a);
+        sharded.gradient(&theta, &mut b);
+        prop_assert!(b.sub(&a).max_abs() <= 1e-12);
+    }
+
+    /// The shard layout itself is deterministic and total.
+    #[test]
+    fn chunk_ranges_partition_for_all_inputs(len in 0i64..500, chunks in 1i64..16) {
+        let ranges = chunk_ranges(len as usize, chunks as usize);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, len as usize);
+        prop_assert!(ranges.len() <= (chunks as usize).max(1));
+        for pair in ranges.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+}
+
+#[test]
+fn degenerate_cohort_smaller_than_thread_count_trains_correctly() {
+    // 4 hand-built samples, 16 requested threads: the sharder caps at one
+    // sample per shard and training still reproduces the serial model.
+    let samples: Vec<Sample> = (0..4)
+        .map(|i| Sample {
+            patient_id: i,
+            features: SparseVec::binary(3, vec![(i % 3) as u32]),
+            cu_label: i % 2,
+            duration_label: (i + 1) % 2,
+        })
+        .collect();
+    let cols = 4;
+    let theta = Matrix::from_fn(3, cols, |r, c| 0.1 * (r as f64) - 0.1 * (c as f64));
+    let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+    let sharded = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(16);
+    let mut a = Matrix::zeros(3, cols);
+    let mut b = Matrix::zeros(3, cols);
+    serial.gradient(&theta, &mut a);
+    sharded.gradient(&theta, &mut b);
+    assert!(b.sub(&a).max_abs() <= 1e-12);
+    assert!((sharded.value(&theta) - serial.value(&theta)).abs() <= 1e-12);
+}
+
+#[test]
+fn end_to_end_parallel_training_reproduces_bitwise_and_tracks_serial() {
+    let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(77)));
+    let serial_cfg = TrainConfig::fast();
+    let parallel_cfg = TrainConfig::fast().with_threads(4);
+
+    let serial = train(&ds, &serial_cfg);
+    let parallel_a = train(&ds, &parallel_cfg);
+    let parallel_b = train(&ds, &parallel_cfg);
+
+    // Fixed thread count → bitwise identical.
+    assert_eq!(parallel_a.theta, parallel_b.theta);
+    // Across thread counts → identical up to accumulated rounding.
+    let rel = serial.theta.sub(&parallel_a.theta).frobenius_norm()
+        / serial.theta.frobenius_norm().max(1e-12);
+    assert!(rel < 1e-9, "relative drift {rel}");
+}

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: an exact size or a `lo..hi` range.
+/// Length specification for [`vec()`]: an exact size or a `lo..hi` range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

@@ -8,7 +8,7 @@
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
 //! * range strategies for floats and integers, tuple strategies, constant
 //!   (`Just`-like) strategies via plain values, and
-//!   [`collection::vec`] with exact-size or `lo..hi` length ranges.
+//!   [`collection::vec`](fn@collection::vec) with exact-size or `lo..hi` length ranges.
 //!
 //! Semantics: each property runs a fixed number of deterministic random
 //! cases (seeded per case index, so failures reproduce across runs and
