@@ -23,9 +23,10 @@
 //!   maps used by the baselines, so the kernel choice is the only difference).
 //! * [`dataset`] — feature/label pairs extracted from patient records.
 //! * [`loss`] — the cross-entropy loss of Eq. 6, its gradient, and sample
-//!   weighting; accumulation can be sharded over threads
-//!   ([`loss::DmcpObjective::with_threads`]) with a bitwise-deterministic
-//!   result for a fixed thread count.
+//!   weighting; the solvers use the fused single-pass
+//!   `value_and_gradient` kernel, and accumulation can be sharded over a
+//!   persistent worker pool ([`loss::DmcpObjective::with_threads`]) with a
+//!   bitwise-deterministic result for a fixed thread count.
 //! * [`train`](mod@train) — Algorithm 1: ADMM + group lasso, plus a plain-GD
 //!   path;
 //!   [`TrainConfig::threads`] selects the sample-parallel accumulation width.

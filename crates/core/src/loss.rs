@@ -16,6 +16,18 @@
 //! Optional per-sample weights implement the "weighted data" imbalance
 //! strategy (`w_i = 1 / log(1 + #{(c,d)})`, Section 3.3).
 //!
+//! # Fused evaluation
+//!
+//! The ADMM solvers always need the value and the gradient *at the same
+//! point*, so [`DmcpObjective`] overrides
+//! [`SmoothObjective::value_and_gradient`] with a fused per-sample kernel:
+//! the linear scores `Θ⊤ f` are accumulated **once** per sample and feed both
+//! the cross-entropy terms and the softmax residuals, instead of the two
+//! separate score passes the `value` + `gradient` pair would pay.  The fused
+//! path performs the same floating-point operations in the same order as the
+//! separate calls, so it matches them bitwise (property-tested in
+//! `tests/parallel_equivalence.rs`).
+//!
 //! # Parallel accumulation and determinism
 //!
 //! Both the loss and its gradient are means over independent per-sample
@@ -23,12 +35,16 @@
 //! per-thread chunks ([`pfp_math::parallel::chunk_ranges`]), accumulates each
 //! chunk into a thread-local dense buffer, and combines the partials with a
 //! fixed-order tree reduction ([`pfp_math::parallel::tree_reduce_matrices`]).
-//! The contract:
+//! The chunk closures are dispatched to a persistent
+//! [`pfp_math::parallel::WorkerPool`] created once per objective (i.e. once
+//! per `train` call / ADMM solve), so repeated evaluations inside a solve pay
+//! a channel send rather than a thread spawn.  The contract:
 //!
 //! * **Fixed thread count ⇒ bitwise-deterministic results.** Chunk
 //!   boundaries and the reduction order are pure functions of
-//!   `(samples.len(), threads)`, so every run performs the same
-//!   floating-point operations in the same order.  `threads == 1` is
+//!   `(samples.len(), threads)`, and [`pfp_math::parallel::WorkerPool::run`]
+//!   returns chunk results in submission order, so every run performs the
+//!   same floating-point operations in the same order.  `threads == 1` is
 //!   *exactly* the serial path.
 //! * **Across thread counts ⇒ agreement to rounding only.** Different
 //!   shardings sum in different orders; the results agree to ≲1e-12
@@ -36,8 +52,8 @@
 
 use std::ops::Range;
 
-use pfp_math::parallel::{chunk_ranges, tree_reduce_matrices, tree_reduce_sums};
-use pfp_math::softmax::{cross_entropy, softmax};
+use pfp_math::parallel::{chunk_ranges, tree_reduce_matrices, tree_reduce_sums, WorkerPool};
+use pfp_math::softmax::{cross_entropy, softmax, softmax_in_place};
 use pfp_math::Matrix;
 use pfp_optim::SmoothObjective;
 
@@ -52,6 +68,12 @@ pub struct DmcpObjective<'a> {
     num_durations: usize,
     /// Worker threads for loss/gradient accumulation (≥ 1; 1 = serial).
     threads: usize,
+    /// Normalising constant Σ_i w_i (or the sample count when unweighted),
+    /// cached at construction so evaluations do not pay an O(n) sum per call.
+    total_weight: f64,
+    /// Persistent workers for the sharded paths, created once per objective
+    /// (`None` on the serial path) and reused by every evaluation of a solve.
+    pool: Option<WorkerPool>,
 }
 
 impl<'a> DmcpObjective<'a> {
@@ -87,6 +109,10 @@ impl<'a> DmcpObjective<'a> {
             assert_eq!(w.len(), samples.len(), "weights length mismatch");
             assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
         }
+        let total_weight = match weights {
+            Some(w) => w.iter().sum::<f64>().max(1e-12),
+            None => samples.len() as f64,
+        };
         Self {
             samples,
             weights,
@@ -94,6 +120,8 @@ impl<'a> DmcpObjective<'a> {
             num_cus,
             num_durations,
             threads: 1,
+            total_weight,
+            pool: None,
         }
     }
 
@@ -101,10 +129,16 @@ impl<'a> DmcpObjective<'a> {
     ///
     /// `0` resolves to the available parallelism; any other value is used
     /// as-is (capped at the sample count — a cohort smaller than the thread
-    /// count simply runs one sample per thread).  See the module docs for the
+    /// count simply runs one sample per thread).  A sharded objective spawns
+    /// its [`WorkerPool`] here, **once**; every subsequent evaluation of the
+    /// ADMM solve reuses the same workers.  See the module docs for the
     /// determinism contract.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = pfp_math::parallel::resolve_threads(threads);
+        // A pool wider than the shard count would leave workers permanently
+        // idle: chunk_ranges caps the shards at the sample count.
+        let workers = self.threads.min(self.samples.len());
+        self.pool = (workers > 1).then(|| WorkerPool::new(workers));
         self
     }
 
@@ -120,13 +154,6 @@ impl<'a> DmcpObjective<'a> {
 
     fn weight(&self, i: usize) -> f64 {
         self.weights.map(|w| w[i]).unwrap_or(1.0)
-    }
-
-    fn total_weight(&self) -> f64 {
-        match self.weights {
-            Some(w) => w.iter().sum::<f64>().max(1e-12),
-            None => self.samples.len() as f64,
-        }
     }
 
     /// Per-sample scores `Θ⊤ f`, split into `(destination, duration)` halves.
@@ -156,11 +183,11 @@ impl<'a> DmcpObjective<'a> {
     }
 
     /// Gradient contribution of one contiguous sample range, scattered into
-    /// `grad` (which the caller zeroes).  `norm` is the total weight; each
-    /// sample's softmax residual is scaled by `weight_i / norm` before the
-    /// sparse scatter, exactly as in the original serial loop.
+    /// `grad` (which the caller zeroes).  Each sample's softmax residual is
+    /// scaled by `weight_i / total_weight` before the sparse scatter, exactly
+    /// as in the original serial loop.
     fn gradient_range(&self, theta: &Matrix, range: Range<usize>, grad: &mut Matrix) {
-        let norm = self.total_weight();
+        let norm = self.total_weight;
         let mut contrib = vec![0.0; self.num_outputs()];
         for i in range {
             let s = &self.samples[i];
@@ -183,9 +210,74 @@ impl<'a> DmcpObjective<'a> {
         }
     }
 
+    /// Fused loss-and-gradient contribution of one contiguous sample range.
+    ///
+    /// Computes the linear scores `Θ⊤ f` **once** per sample and feeds them to
+    /// both the cross-entropy terms (returned, weighted, not yet normalised)
+    /// and the softmax residuals scattered into `grad` — where the separate
+    /// [`Self::value_range`] / [`Self::gradient_range`] pair accumulates the
+    /// scores twice.  `scores` and `contrib` are caller-provided scratch
+    /// buffers of length `C + D`, reused across every sample of the range
+    /// (the separate paths allocate two fresh `Vec`s per sample).
+    ///
+    /// Operation order per element is identical to the separate paths, so the
+    /// fused results match them bitwise.
+    fn value_and_gradient_range(
+        &self,
+        theta: &Matrix,
+        range: Range<usize>,
+        grad: &mut Matrix,
+        scores: &mut [f64],
+        contrib: &mut [f64],
+    ) -> f64 {
+        let norm = self.total_weight;
+        let mut loss = 0.0;
+        for i in range {
+            let s = &self.samples[i];
+            scores.fill(0.0);
+            s.features.accumulate_scores(theta, scores);
+            let (cu_scores, dur_scores) = scores.split_at_mut(self.num_cus);
+            let w = self.weight(i);
+            let wn = w / norm;
+            let mut l = cross_entropy(cu_scores, s.cu_label);
+            softmax_in_place(cu_scores);
+            for (c, out) in contrib[..self.num_cus].iter_mut().enumerate() {
+                *out = wn * (cu_scores[c] - if c == s.cu_label { 1.0 } else { 0.0 });
+            }
+            if self.num_durations > 1 {
+                l += cross_entropy(dur_scores, s.duration_label);
+                softmax_in_place(dur_scores);
+                for (d, out) in contrib[self.num_cus..].iter_mut().enumerate() {
+                    *out = wn * (dur_scores[d] - if d == s.duration_label { 1.0 } else { 0.0 });
+                }
+            } else {
+                contrib[self.num_cus] = 0.0;
+            }
+            loss += w * l;
+            s.features.scatter_gradient(contrib, grad);
+        }
+        loss
+    }
+
     /// The per-thread sample ranges for the current thread count.
     fn shards(&self) -> Vec<Range<usize>> {
         chunk_ranges(self.samples.len(), self.threads)
+    }
+
+    /// Run one closure per shard — on the persistent pool when this objective
+    /// is sharded, inline otherwise — returning results in shard order.
+    fn run_sharded<T, F>(&self, shards: Vec<Range<usize>>, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        match &self.pool {
+            Some(pool) => {
+                let task = &task;
+                pool.run(shards.into_iter().map(|r| move || task(r)).collect())
+            }
+            None => shards.into_iter().map(task).collect(),
+        }
     }
 }
 
@@ -195,19 +287,9 @@ impl SmoothObjective for DmcpObjective<'_> {
         let loss = if shards.len() <= 1 {
             self.value_range(theta, 0..self.samples.len())
         } else {
-            let partials: Vec<f64> = std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|range| scope.spawn(move || self.value_range(theta, range)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("loss shard thread panicked"))
-                    .collect()
-            });
-            tree_reduce_sums(partials)
+            tree_reduce_sums(self.run_sharded(shards, |range| self.value_range(theta, range)))
         };
-        loss / self.total_weight()
+        loss / self.total_weight
     }
 
     fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
@@ -217,31 +299,56 @@ impl SmoothObjective for DmcpObjective<'_> {
             self.gradient_range(theta, 0..self.samples.len(), grad);
             return;
         }
-        // Sharded path: thread-local dense partials, joined in spawn order,
-        // then a fixed-order tree reduction — see the module docs for why
-        // this is bitwise-deterministic at a fixed thread count.  Threads are
-        // spawned per evaluation (~tens of µs each), which amortises against
-        // the multi-ms gradients of paper-scale cohorts but is pure overhead
-        // on tiny ones — callers with small sample sets should keep
-        // `threads = 1` (a persistent worker pool is a ROADMAP item).
+        // Sharded path: thread-local dense partials collected in shard order
+        // from the persistent pool, then a fixed-order tree reduction — see
+        // the module docs for why this is bitwise-deterministic at a fixed
+        // thread count.  The workers were spawned once in `with_threads`, so
+        // the per-evaluation cost is a channel dispatch, not a thread spawn.
         let (rows, cols) = grad.shape();
-        let partials: Vec<Matrix> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        let mut partial = Matrix::zeros(rows, cols);
-                        self.gradient_range(theta, range, &mut partial);
-                        partial
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("gradient shard thread panicked"))
-                .collect()
+        let partials = self.run_sharded(shards, |range| {
+            let mut partial = Matrix::zeros(rows, cols);
+            self.gradient_range(theta, range, &mut partial);
+            partial
         });
         *grad = tree_reduce_matrices(partials).expect("at least one gradient shard");
+    }
+
+    fn value_and_gradient(&self, theta: &Matrix, grad: &mut Matrix) -> f64 {
+        let shards = self.shards();
+        if shards.len() <= 1 {
+            grad.fill(0.0);
+            let mut scores = vec![0.0; self.num_outputs()];
+            let mut contrib = vec![0.0; self.num_outputs()];
+            let loss = self.value_and_gradient_range(
+                theta,
+                0..self.samples.len(),
+                grad,
+                &mut scores,
+                &mut contrib,
+            );
+            return loss / self.total_weight;
+        }
+        // Each pool worker accumulates its shard's loss and gradient in one
+        // fused pass with its own scratch buffers; the scalar and matrix
+        // partials are then tree-reduced in the same fixed shard order the
+        // separate paths use, preserving the determinism contract.
+        let (rows, cols) = grad.shape();
+        let partials = self.run_sharded(shards, |range| {
+            let mut partial = Matrix::zeros(rows, cols);
+            let mut scores = vec![0.0; self.num_outputs()];
+            let mut contrib = vec![0.0; self.num_outputs()];
+            let loss = self.value_and_gradient_range(
+                theta,
+                range,
+                &mut partial,
+                &mut scores,
+                &mut contrib,
+            );
+            (loss, partial)
+        });
+        let (losses, grads): (Vec<f64>, Vec<Matrix>) = partials.into_iter().unzip();
+        *grad = tree_reduce_matrices(grads).expect("at least one gradient shard");
+        tree_reduce_sums(losses) / self.total_weight
     }
 
     fn shape(&self) -> (usize, usize) {
@@ -263,7 +370,7 @@ impl SmoothObjective for DmcpObjective<'_> {
                 sums[idx as usize] += w * v * v;
             }
         }
-        let norm = self.total_weight();
+        let norm = self.total_weight;
         Some(sums.into_iter().map(|s| 0.5 * s / norm).collect())
     }
 }
@@ -408,6 +515,87 @@ mod tests {
                 (sharded.value(&theta) - serial.value(&theta)).abs() <= 1e-12,
                 "threads={threads}: loss diff"
             );
+        }
+    }
+
+    #[test]
+    fn fused_evaluation_matches_separate_calls_bitwise_in_serial() {
+        let samples = toy_samples();
+        let weights = [1.0, 0.5, 2.0, 0.25];
+        for weights in [None, Some(&weights[..])] {
+            let obj = DmcpObjective::new(&samples, weights, 3, 2, 2);
+            let theta = Matrix::from_fn(3, 4, |r, c| 0.4 * (r as f64) - 0.3 * (c as f64));
+            let mut grad_sep = Matrix::zeros(3, 4);
+            obj.gradient(&theta, &mut grad_sep);
+            let value_sep = obj.value(&theta);
+            let mut grad_fused = Matrix::zeros(3, 4);
+            let value_fused = obj.value_and_gradient(&theta, &mut grad_fused);
+            assert_eq!(grad_fused, grad_sep, "fused gradient must match bitwise");
+            assert_eq!(
+                value_fused.to_bits(),
+                value_sep.to_bits(),
+                "fused value must match bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_evaluation_handles_single_class_duration_head() {
+        let samples: Vec<Sample> = toy_samples()
+            .into_iter()
+            .map(|mut s| {
+                s.duration_label = 0;
+                s
+            })
+            .collect();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 1);
+        let theta = Matrix::from_fn(3, 3, |r, c| 0.2 * (r as f64) + 0.1 * (c as f64));
+        let mut grad_sep = Matrix::zeros(3, 3);
+        obj.gradient(&theta, &mut grad_sep);
+        let mut grad_fused = Matrix::zeros(3, 3);
+        let value_fused = obj.value_and_gradient(&theta, &mut grad_fused);
+        assert_eq!(grad_fused, grad_sep);
+        assert_eq!(value_fused.to_bits(), obj.value(&theta).to_bits());
+    }
+
+    #[test]
+    fn fused_sharded_matches_fused_serial_within_rounding() {
+        let samples = toy_samples();
+        let theta = Matrix::from_fn(3, 4, |r, c| 0.3 * (r as f64) - 0.2 * (c as f64));
+        let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let mut grad_serial = Matrix::zeros(3, 4);
+        let value_serial = serial.value_and_gradient(&theta, &mut grad_serial);
+        for threads in [2, 3, 4, 64] {
+            let sharded = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(threads);
+            let mut grad_sharded = Matrix::zeros(3, 4);
+            let value_sharded = sharded.value_and_gradient(&theta, &mut grad_sharded);
+            assert!(
+                grad_sharded.sub(&grad_serial).max_abs() <= 1e-12,
+                "threads={threads}: fused gradient drift"
+            );
+            assert!(
+                (value_sharded - value_serial).abs() <= 1e-12,
+                "threads={threads}: fused value drift"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_objective_reuses_one_pool_across_evaluations() {
+        // Many evaluations on one sharded objective must all agree with the
+        // serial result — exercising pool reuse across an ADMM-solve-like
+        // call pattern rather than a single evaluation.
+        let samples = toy_samples();
+        let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+        let sharded = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(3);
+        for k in 0..20 {
+            let theta = Matrix::from_fn(3, 4, |r, c| 0.05 * (k as f64) + 0.1 * ((r + c) as f64));
+            let mut a = Matrix::zeros(3, 4);
+            let mut b = Matrix::zeros(3, 4);
+            let va = serial.value_and_gradient(&theta, &mut a);
+            let vb = sharded.value_and_gradient(&theta, &mut b);
+            assert!(b.sub(&a).max_abs() <= 1e-12, "round {k}");
+            assert!((va - vb).abs() <= 1e-12, "round {k}");
         }
     }
 

@@ -48,7 +48,9 @@ pub struct TrainConfig {
     /// Worker threads for sharded loss/gradient accumulation over samples.
     ///
     /// `1` (the default) runs the serial path; `0` uses all available
-    /// parallelism; any other value is taken literally.  Training is
+    /// parallelism; any other value is taken literally.  A sharded run
+    /// spawns one persistent [`pfp_math::parallel::WorkerPool`] per `train`
+    /// call and reuses it for every evaluation of the ADMM solve.  Training is
     /// bitwise-deterministic for a fixed thread count, and results across
     /// thread counts agree to floating-point rounding (≲1e-12) — see the
     /// determinism contract in [`crate::loss`].  When an outer harness

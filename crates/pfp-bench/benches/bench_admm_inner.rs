@@ -1,0 +1,66 @@
+//! Criterion benchmark of a full ADMM Θ-update (inner gradient descent),
+//! serial vs pooled, at small and medium cohort sizes.
+//!
+//! One `solve_group_lasso` call with `max_outer_iters = 1` and a fixed inner
+//! budget is exactly one Θ-update plus its trailing fused evaluation — the
+//! unit the fused `value_and_gradient` kernel and the persistent
+//! `WorkerPool` target.  The companion `repro_fused_speedup` binary prints
+//! the passes-per-iteration accounting and emits `BENCH_admm.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfp_core::loss::DmcpObjective;
+use pfp_core::Dataset;
+use pfp_ehr::{generate_cohort, CohortConfig};
+use pfp_math::Matrix;
+use pfp_optim::admm::{solve_group_lasso, AdmmConfig};
+use pfp_optim::LearningRate;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// One full Θ-update: a single outer iteration with a fixed inner budget
+/// (tolerance 0 disables early stopping so every run does identical work).
+fn one_theta_update_config() -> AdmmConfig {
+    AdmmConfig {
+        gamma: 1e-3,
+        rho: 1.0,
+        learning_rate: LearningRate::Constant(0.5),
+        max_inner_iters: 10,
+        max_outer_iters: 1,
+        tolerance: 0.0,
+    }
+}
+
+fn admm_inner(c: &mut Criterion) {
+    let cohorts = [
+        ("small", CohortConfig::tiny(11)),
+        ("medium", CohortConfig::small(11)),
+    ];
+    let config = one_theta_update_config();
+    for (label, cohort_config) in cohorts {
+        let dataset = Dataset::from_cohort(&generate_cohort(&cohort_config));
+        let kind = dataset.default_mcp_kind();
+        let samples = dataset.featurize(kind);
+        let rows = dataset.total_feature_dim();
+        let cols = dataset.num_cus + dataset.num_durations;
+        let theta0 = Matrix::from_fn(rows, cols, |r, k| 1e-3 * (r as f64) - 1e-2 * (k as f64));
+
+        let mut group = c.benchmark_group(format!("admm_inner_{label}"));
+        group.sample_size(10);
+        for threads in THREAD_COUNTS {
+            // The pool is created once here and reused by every Θ-update in
+            // the timing loop — the deployment pattern of a real solve.
+            let objective =
+                DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
+                    .with_threads(threads);
+            group.bench_function(BenchmarkId::new("theta_update", threads), |b| {
+                b.iter(|| {
+                    std::hint::black_box(solve_group_lasso(&objective, theta0.clone(), &config))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, admm_inner);
+criterion_main!(benches);

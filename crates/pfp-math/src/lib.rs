@@ -18,8 +18,9 @@
 //! * [`softmax`] — log-sum-exp, stable softmax, categorical cross-entropy.
 //! * [`stats`] — mean/variance, Pearson correlation, histograms, argmax.
 //! * [`rng`] — seeded sampling helpers (categorical, Bernoulli, Gaussian).
-//! * [`parallel`] — deterministic sample sharding and fixed-order tree
-//!   reduction for parallel gradient accumulation.
+//! * [`parallel`] — deterministic sample sharding, fixed-order tree
+//!   reduction, and a persistent [`parallel::WorkerPool`] for parallel
+//!   gradient accumulation without per-evaluation thread spawns.
 //!
 //! ## Example
 //!

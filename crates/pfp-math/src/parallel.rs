@@ -4,7 +4,9 @@
 //! accumulated in parallel: split the sample range into contiguous chunks,
 //! accumulate each chunk into a thread-local buffer, and reduce the partial
 //! buffers.  The helpers here fix *both* the chunk boundaries and the
-//! reduction order so that a parallel run is reproducible.
+//! reduction order so that a parallel run is reproducible, and [`WorkerPool`]
+//! keeps one set of worker threads alive across many evaluations so the
+//! per-call cost is a channel send, not a thread spawn.
 //!
 //! # Determinism contract
 //!
@@ -12,6 +14,9 @@
 //!   always produce the same split.
 //! * [`tree_reduce_matrices`] and [`tree_reduce_sums`] combine partial results
 //!   in a fixed pairwise order that depends only on the number of partials.
+//! * [`WorkerPool::run`] returns results in task-submission order no matter
+//!   which worker executed which task, so feeding its output to the tree
+//!   reductions preserves the fixed summation order.
 //!
 //! Together these make a sharded accumulation **bitwise deterministic for a
 //! fixed thread count**: every run with `t` threads performs the exact same
@@ -21,6 +26,10 @@
 //! equivalence bound the trainer's tests enforce), not bitwise.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use crate::dense::Matrix;
 
@@ -71,6 +80,168 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     }
     debug_assert_eq!(start, len);
     out
+}
+
+/// A boxed unit of work executed by a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads for repeated fork-join evaluations.
+///
+/// The sharded DMCP objective evaluates thousands of loss/gradient passes per
+/// ADMM solve; spawning scoped threads for each pass (the PR 2 design) costs
+/// tens of microseconds of spawn/join per evaluation, which dominates on
+/// small cohorts.  A `WorkerPool` is created once (per `train` call / ADMM
+/// solve), keeps its `std::thread` workers parked on a shared channel, and
+/// dispatches each evaluation's chunk closures as boxed jobs — the per-call
+/// cost drops to a channel round-trip.
+///
+/// [`run`](Self::run) is a synchronous fork-join: it blocks until every
+/// submitted task has completed and returns the results **in submission
+/// order**, regardless of which worker ran which task.  That ordering is what
+/// lets callers feed the results straight into the fixed-order tree
+/// reductions and keep the bitwise-determinism contract of this module.
+///
+/// A pool built with `threads <= 1` spawns no workers at all; `run` then
+/// executes the tasks inline on the caller's thread in submission order,
+/// which is exactly the serial path.
+///
+/// ```
+/// use pfp_math::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let data = vec![1.0, 2.0, 3.0, 4.0];
+/// // Tasks may borrow non-'static data; results come back in order.
+/// let doubled = pool.run((0..4).map(|i| { let d = &data; move || 2.0 * d[i] }).collect());
+/// assert_eq!(doubled, vec![2.0, 4.0, 6.0, 8.0]);
+/// ```
+pub struct WorkerPool {
+    /// `None` for the workerless (serial) pool.
+    job_tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (`0` = all available parallelism,
+    /// `1` = no workers, serial execution in [`run`](Self::run)).
+    pub fn new(threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        if threads <= 1 {
+            return Self {
+                job_tx: None,
+                workers: Vec::new(),
+            };
+        }
+        let (job_tx, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while dequeuing, never while running.
+                    let job = match job_rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break, // lock poisoned: pool is shutting down
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // channel closed: pool dropped
+                    }
+                })
+            })
+            .collect();
+        Self {
+            job_tx: Some(job_tx),
+            workers,
+        }
+    }
+
+    /// Number of live worker threads (`0` for a serial pool).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute `tasks` and return their results **in submission order**,
+    /// blocking until all have finished.
+    ///
+    /// Tasks may borrow data from the caller's stack (the `'env` lifetime):
+    /// the call does not return — normally or by panic — until every task has
+    /// run to completion, so no job can outlive what it borrows.
+    ///
+    /// # Panics
+    /// If a task panics on a pooled run, the panic is re-raised on the
+    /// calling thread *after* all remaining tasks have completed (workers
+    /// survive task panics).  On the workerless serial pool tasks run inline,
+    /// so a panic propagates immediately and later tasks never start.
+    pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let Some(job_tx) = &self.job_tx else {
+            return tasks.into_iter().map(|task| task()).collect();
+        };
+        let n = tasks.len();
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
+        let mut submitted = 0usize;
+        let mut pool_down = false;
+        for (slot, task) in tasks.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                // Contain task panics to the job so the worker thread (and the
+                // other in-flight jobs of this call) keep running; the payload
+                // is re-thrown on the calling thread below.
+                let result = catch_unwind(AssertUnwindSafe(task));
+                let _ = result_tx.send((slot, result));
+            });
+            // SAFETY: the job borrows `'env` data, but this function blocks on
+            // `result_rx` until every submitted job has reported completion
+            // (and workers run jobs to completion before dequeuing the next),
+            // so no job can be alive after `run` returns or unwinds.  Erasing
+            // the lifetime is therefore sound; it is what lets long-lived
+            // workers accept short-lived borrows.
+            let job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            if job_tx.send(job).is_err() {
+                // Unreachable while the worker loop keeps the receiver alive
+                // for the pool's whole lifetime, but if a future change lets
+                // workers exit early we must not unwind here: jobs already
+                // submitted still borrow `'env` data, so fall through and
+                // drain them first, then report the failure.
+                pool_down = true;
+                break;
+            }
+            submitted += 1;
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..submitted {
+            match result_rx.recv() {
+                Ok((slot, result)) => slots[slot] = Some(result),
+                // Every result sender is gone: each submitted job either
+                // reported or was destroyed unrun, so nothing is in flight.
+                Err(_) => break,
+            }
+        }
+        assert!(!pool_down, "worker pool has shut down");
+        slots
+            .into_iter()
+            .map(
+                |result| match result.expect("worker pool lost a task result") {
+                    Ok(value) => value,
+                    Err(payload) => resume_unwind(payload),
+                },
+            )
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel wakes every parked worker with a recv error.
+        self.job_tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
 }
 
 /// Reduce partial gradient matrices into one by fixed-order pairwise folding.
@@ -192,5 +363,78 @@ mod tests {
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn worker_pool_returns_results_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let tasks: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    // Stagger finish times so completion order ≠ submission order.
+                    std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+                    i * i
+                }
+            })
+            .collect();
+        let results = pool.run(tasks);
+        assert_eq!(results, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_pool_of_one_runs_inline_with_no_workers() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let out = pool.run(vec![|| 1, || 2, || 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_pool_tasks_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ranges = chunk_ranges(data.len(), 3);
+        let partials = pool.run(
+            ranges
+                .into_iter()
+                .map(|r| {
+                    let data = &data;
+                    move || data[r].iter().sum::<f64>()
+                })
+                .collect(),
+        );
+        assert!((tree_reduce_sums(partials) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_pool_is_reusable_across_many_runs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50 {
+            let out = pool.run((0..4).map(|i| move || i + round).collect());
+            assert_eq!(out, vec![round, round + 1, round + 2, round + 3]);
+        }
+    }
+
+    #[test]
+    fn worker_pool_handles_more_tasks_than_workers() {
+        let pool = WorkerPool::new(2);
+        let out = pool.run((0..64).map(|i| move || i).collect());
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_pool_propagates_task_panics_and_survives_them() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| 1) as Box<dyn FnOnce() -> i32 + Send>,
+                Box::new(|| panic!("task exploded")),
+            ]);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool is still usable afterwards.
+        let out = pool.run(vec![|| 40, || 2]);
+        assert_eq!(out, vec![40, 2]);
     }
 }

@@ -9,6 +9,12 @@
 //! 3. **Y-update** — dual ascent `Y ← Y + (Θ − X)` (Eq. 11),
 //!
 //! until the relative change of Θ falls below the tolerance.
+//!
+//! The driver is written against the fused
+//! [`SmoothObjective::value_and_gradient`]: one fused evaluation per outer
+//! iteration provides both the objective-trace value and the gradient for the
+//! next Θ-update's first step, so only the second and later inner steps pay a
+//! separate gradient pass.
 
 use pfp_math::Matrix;
 use serde::{Deserialize, Serialize};
@@ -29,6 +35,21 @@ pub trait SmoothObjective {
     /// Gradient at `theta`, written into `grad` (same shape, pre-zeroed by the
     /// caller is *not* assumed — implementations must overwrite it fully).
     fn gradient(&self, theta: &Matrix, grad: &mut Matrix);
+    /// Fused evaluation: write the gradient at `theta` into `grad` and return
+    /// the value at `theta`, in one call.
+    ///
+    /// The solvers only ever need the value and the gradient *at the same
+    /// point*, so this is the method they call on the hot path.  The default
+    /// implementation simply chains [`gradient`](Self::gradient) and
+    /// [`value`](Self::value); objectives whose value and gradient share
+    /// expensive intermediates (the DMCP objective computes per-sample scores
+    /// and softmaxes used by both) should override it with a fused single
+    /// pass.  Overrides must return exactly what the separate calls would —
+    /// the fused path is an optimisation, never a different function.
+    fn value_and_gradient(&self, theta: &Matrix, grad: &mut Matrix) -> f64 {
+        self.gradient(theta, grad);
+        self.value(theta)
+    }
     /// Parameter shape `(rows, cols)`.
     fn shape(&self) -> (usize, usize);
     /// Per-row curvature bounds `L_r` (one per parameter row), if cheap to
@@ -104,7 +125,10 @@ pub fn solve_group_lasso<O: SmoothObjective>(
     let mut grad = Matrix::zeros(rows, cols);
 
     let mut trace = Vec::with_capacity(config.max_outer_iters + 1);
-    trace.push(objective.value(&theta) + config.gamma * x.l12_norm());
+    // One fused evaluation seeds both the starting trace entry and the first
+    // Θ-update step's gradient: Θ does not change between the two uses.
+    trace.push(objective.value_and_gradient(&theta, &mut grad) + config.gamma * x.l12_norm());
+    let mut grad_is_current = true;
 
     // Row r of the augmented Lagrangian has curvature at most L_r + ρ, so
     // steps beyond 1/(L_r + ρ) overshoot; cap the schedule per row when the
@@ -127,7 +151,14 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         // --- Θ-update: gradient descent on the augmented Lagrangian ---
         let mut inner_prev = theta.clone();
         for inner in 0..config.max_inner_iters {
-            objective.gradient(&theta, &mut grad);
+            // The first inner step of each outer iteration reuses the
+            // gradient produced by the trailing fused evaluation below (Θ is
+            // untouched by the X/Y updates); only later steps pay a fresh
+            // gradient pass.
+            if !grad_is_current {
+                objective.gradient(&theta, &mut grad);
+            }
+            grad_is_current = false;
             // ∇ of (ρ/2)‖Θ − X + Y‖² is ρ(Θ − X + Y).
             let schedule_step = config.learning_rate.at(inner);
             for r in 0..rows {
@@ -155,7 +186,11 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         let residual = theta.sub(&x);
         y.add_scaled(&residual, 1.0);
 
-        trace.push(objective.value(&theta) + config.gamma * x.l12_norm());
+        // Trailing fused evaluation: the smooth value extends the trace and
+        // the gradient is carried into the next outer iteration's Θ-update.
+        let smooth = objective.value_and_gradient(&theta, &mut grad);
+        grad_is_current = true;
+        trace.push(smooth + config.gamma * x.l12_norm());
         outer_done = outer + 1;
         if theta.relative_change(&theta_prev) < config.tolerance {
             converged = true;
@@ -326,6 +361,86 @@ mod tests {
         }
         // Feature 2 is pure noise (always zero) — its row should be ~zero in X.
         assert!(res.x.row_l2_norm(2) < 1e-6);
+    }
+
+    /// Wraps an objective and counts how each evaluation entry point is used.
+    struct CountingObjective<O> {
+        inner: O,
+        value_calls: std::cell::Cell<usize>,
+        gradient_calls: std::cell::Cell<usize>,
+        fused_calls: std::cell::Cell<usize>,
+    }
+
+    impl<O> CountingObjective<O> {
+        fn new(inner: O) -> Self {
+            Self {
+                inner,
+                value_calls: std::cell::Cell::new(0),
+                gradient_calls: std::cell::Cell::new(0),
+                fused_calls: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl<O: SmoothObjective> SmoothObjective for CountingObjective<O> {
+        fn value(&self, theta: &Matrix) -> f64 {
+            self.value_calls.set(self.value_calls.get() + 1);
+            self.inner.value(theta)
+        }
+        fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
+            self.gradient_calls.set(self.gradient_calls.get() + 1);
+            self.inner.gradient(theta, grad);
+        }
+        fn value_and_gradient(&self, theta: &Matrix, grad: &mut Matrix) -> f64 {
+            self.fused_calls.set(self.fused_calls.get() + 1);
+            self.inner.value_and_gradient(theta, grad)
+        }
+        fn shape(&self) -> (usize, usize) {
+            self.inner.shape()
+        }
+        fn row_curvature_bounds(&self) -> Option<Vec<f64>> {
+            self.inner.row_curvature_bounds()
+        }
+    }
+
+    #[test]
+    fn theta_update_uses_one_fused_evaluation_per_outer_and_no_separate_values() {
+        // tolerance = 0 disables early stopping, so the iteration counts are
+        // exact: `max_outer_iters` outers of `max_inner_iters` inner steps.
+        let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
+        let counting = CountingObjective::new(QuadraticToTarget { target });
+        let cfg = AdmmConfig {
+            gamma: 0.1,
+            rho: 1.0,
+            learning_rate: LearningRate::Constant(0.1),
+            max_inner_iters: 7,
+            max_outer_iters: 5,
+            tolerance: 0.0,
+        };
+        let res = solve_group_lasso(&counting, Matrix::zeros(3, 2), &cfg);
+        assert_eq!(res.outer_iterations, 5);
+        assert!(!res.converged);
+        // One fused evaluation at the start plus one per outer iteration…
+        assert_eq!(counting.fused_calls.get(), 5 + 1);
+        // …whose gradient covers the first inner step of every outer, so only
+        // the remaining inner steps pay a separate gradient pass…
+        assert_eq!(counting.gradient_calls.get(), 5 * (7 - 1));
+        // …and the solver never evaluates the value on its own.
+        assert_eq!(counting.value_calls.get(), 0);
+    }
+
+    #[test]
+    fn fused_default_implementation_matches_separate_calls() {
+        let target = Matrix::from_vec(2, 2, vec![1.5, -0.5, 2.0, 0.25]);
+        let obj = QuadraticToTarget { target };
+        let theta = Matrix::from_fn(2, 2, |r, c| 0.3 * (r as f64) - 0.7 * (c as f64));
+        let mut grad_sep = Matrix::zeros(2, 2);
+        obj.gradient(&theta, &mut grad_sep);
+        let value_sep = obj.value(&theta);
+        let mut grad_fused = Matrix::zeros(2, 2);
+        let value_fused = obj.value_and_gradient(&theta, &mut grad_fused);
+        assert_eq!(grad_fused, grad_sep);
+        assert_eq!(value_fused.to_bits(), value_sep.to_bits());
     }
 
     #[test]

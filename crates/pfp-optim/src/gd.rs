@@ -52,8 +52,11 @@ pub struct GdResult {
 
 /// Minimise a smooth function of a dense vector by gradient descent.
 ///
-/// `objective` returns `(value, gradient)` at a point.  Stops when the
-/// relative change of the iterate drops below `tolerance` or after
+/// `objective` is a **fused** evaluation returning `(value, gradient)` at a
+/// point, and is called exactly once per iteration plus once at the start:
+/// the post-step evaluation both extends the objective trace and supplies the
+/// next iteration's gradient, so no point is ever evaluated twice.  Stops
+/// when the relative change of the iterate drops below `tolerance` or after
 /// `max_iters` iterations.
 pub fn minimize_vector(
     x0: Vec<f64>,
@@ -64,12 +67,12 @@ pub fn minimize_vector(
 ) -> GdResult {
     let mut x = x0;
     let mut trace = Vec::with_capacity(max_iters + 1);
-    let (v0, _) = objective(&x);
+    // One fused evaluation seeds both the trace and the first step's gradient.
+    let (v0, mut grad) = objective(&x);
     trace.push(v0);
     let mut converged = false;
     let mut iterations = 0;
     for k in 0..max_iters {
-        let (_, grad) = objective(&x);
         let step = lr.at(k);
         let mut change_sq = 0.0;
         let mut norm_sq = 0.0;
@@ -79,8 +82,11 @@ pub fn minimize_vector(
             change_sq += delta * delta;
             norm_sq += *xi * *xi;
         }
-        let (v, _) = objective(&x);
+        // The single fused evaluation of this iteration: its value extends the
+        // trace and its gradient drives the next step.
+        let (v, g) = objective(&x);
         trace.push(v);
+        grad = g;
         iterations = k + 1;
         if change_sq.sqrt() / norm_sq.sqrt().max(1e-12) < tolerance {
             converged = true;
@@ -153,6 +159,50 @@ mod tests {
         for w in res.objective_trace.windows(2) {
             assert!(w[1] <= w[0] + 1e-12);
         }
+    }
+
+    #[test]
+    fn gd_performs_exactly_one_fused_evaluation_per_iteration_plus_start() {
+        // tolerance = 0 disables the stopping criterion, so every one of the
+        // `max_iters` iterations runs and the call count is exact.
+        let max_iters = 20;
+        let mut calls = 0usize;
+        let res = minimize_vector(
+            vec![5.0],
+            |x| {
+                calls += 1;
+                (x[0] * x[0], vec![2.0 * x[0]])
+            },
+            LearningRate::Constant(0.1),
+            max_iters,
+            0.0,
+        );
+        assert_eq!(res.iterations, max_iters);
+        assert!(!res.converged);
+        assert_eq!(
+            calls,
+            max_iters + 1,
+            "one fused evaluation per iteration plus one at the start"
+        );
+        assert_eq!(res.objective_trace.len(), max_iters + 1);
+    }
+
+    #[test]
+    fn gd_early_convergence_still_counts_one_evaluation_per_iteration() {
+        let mut calls = 0usize;
+        let res = minimize_vector(
+            vec![1.0],
+            |x| {
+                calls += 1;
+                (x[0] * x[0], vec![2.0 * x[0]])
+            },
+            LearningRate::Constant(0.4),
+            500,
+            1e-3,
+        );
+        assert!(res.converged);
+        assert!(res.iterations < 500);
+        assert_eq!(calls, res.iterations + 1);
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //! gradient/loss accumulation must match the serial path to within 1e-12 at
 //! any thread count, including the degenerate case of more threads than
 //! samples, and must be bitwise-reproducible for a fixed thread count.
+//!
+//! The fused evaluation path (`SmoothObjective::value_and_gradient`) carries
+//! the same contract plus one stronger clause: **fused serial must match the
+//! separate serial `value` + `gradient` calls bitwise**, because it performs
+//! the identical floating-point operations in the identical order and merely
+//! skips the duplicated score pass.
 
 use proptest::prelude::*;
 
@@ -95,6 +101,62 @@ proptest! {
         prop_assert!(b.sub(&a).max_abs() <= 1e-12);
     }
 
+    /// Fused serial evaluation == separate serial `value` + `gradient`,
+    /// **bitwise**, with and without per-sample weights.
+    #[test]
+    fn fused_serial_matches_separate_serial_bitwise(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 1..40),
+        weighted in 0i64..2,
+    ) {
+        let samples = build_samples(&raw);
+        let weights: Vec<f64> = (0..samples.len()).map(|i| 0.2 + 0.5 * (i % 3) as f64).collect();
+        let weights = if weighted == 1 { Some(&weights[..]) } else { None };
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.03 * (r as f64) - 0.05 * (c as f64));
+
+        let obj = DmcpObjective::new(&samples, weights, DIM, NUM_CUS, NUM_DURATIONS);
+        let mut grad_sep = Matrix::zeros(DIM, cols);
+        obj.gradient(&theta, &mut grad_sep);
+        let value_sep = obj.value(&theta);
+
+        let mut grad_fused = Matrix::zeros(DIM, cols);
+        let value_fused = obj.value_and_gradient(&theta, &mut grad_fused);
+
+        // Bitwise: same floating-point ops in the same order.
+        prop_assert_eq!(grad_fused, grad_sep);
+        prop_assert_eq!(value_fused.to_bits(), value_sep.to_bits());
+    }
+
+    /// Fused pooled evaluation matches fused serial to ≤ 1e-12 at every
+    /// thread count, including threads > samples (one sample per shard).
+    #[test]
+    fn fused_pooled_matches_fused_serial_at_any_thread_count(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 1..40),
+        threads in 2i64..10,
+    ) {
+        let samples = build_samples(&raw);
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.04 * (r as f64) - 0.03 * (c as f64));
+
+        let serial = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS);
+        let mut grad_serial = Matrix::zeros(DIM, cols);
+        let value_serial = serial.value_and_gradient(&theta, &mut grad_serial);
+
+        let pooled = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS)
+            .with_threads(threads as usize);
+        let mut grad_pooled = Matrix::zeros(DIM, cols);
+        let value_pooled = pooled.value_and_gradient(&theta, &mut grad_pooled);
+
+        let max_diff = grad_pooled.sub(&grad_serial).max_abs();
+        prop_assert!(
+            max_diff <= 1e-12,
+            "threads={} samples={} max fused gradient diff={:e}",
+            threads, samples.len(), max_diff
+        );
+        let value_diff = (value_pooled - value_serial).abs();
+        prop_assert!(value_diff <= 1e-12, "fused value diff={:e}", value_diff);
+    }
+
     /// The shard layout itself is deterministic and total.
     #[test]
     fn chunk_ranges_partition_for_all_inputs(len in 0i64..500, chunks in 1i64..16) {
@@ -130,6 +192,56 @@ fn degenerate_cohort_smaller_than_thread_count_trains_correctly() {
     sharded.gradient(&theta, &mut b);
     assert!(b.sub(&a).max_abs() <= 1e-12);
     assert!((sharded.value(&theta) - serial.value(&theta)).abs() <= 1e-12);
+}
+
+#[test]
+fn fused_pooled_degenerate_cohort_smaller_than_pool_matches_serial() {
+    // 4 hand-built samples, 16 requested threads: the shards (and the pool)
+    // cap at one sample per worker and the fused evaluation still matches the
+    // fused serial path.
+    let samples: Vec<Sample> = (0..4)
+        .map(|i| Sample {
+            patient_id: i,
+            features: SparseVec::binary(3, vec![(i % 3) as u32]),
+            cu_label: i % 2,
+            duration_label: (i + 1) % 2,
+        })
+        .collect();
+    let cols = 4;
+    let theta = Matrix::from_fn(3, cols, |r, c| 0.1 * (r as f64) - 0.1 * (c as f64));
+    let serial = DmcpObjective::new(&samples, None, 3, 2, 2);
+    let pooled = DmcpObjective::new(&samples, None, 3, 2, 2).with_threads(16);
+    let mut a = Matrix::zeros(3, cols);
+    let mut b = Matrix::zeros(3, cols);
+    let va = serial.value_and_gradient(&theta, &mut a);
+    let vb = pooled.value_and_gradient(&theta, &mut b);
+    assert!(b.sub(&a).max_abs() <= 1e-12);
+    assert!((va - vb).abs() <= 1e-12);
+}
+
+#[test]
+fn fused_pooled_is_bitwise_deterministic_at_a_fixed_thread_count() {
+    let samples = build_samples(&[
+        (0, 0.7, 1, 2),
+        (3, 1.1, 2, 0),
+        (7, 0.4, 0, 3),
+        (9, 1.9, 1, 1),
+    ]);
+    let cols = NUM_CUS + NUM_DURATIONS;
+    let theta = Matrix::from_fn(DIM, cols, |r, c| 0.6 * (r as f64) - 0.2 * (c as f64));
+    let run = || {
+        let obj = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS).with_threads(3);
+        let mut grad = Matrix::zeros(DIM, cols);
+        let value = obj.value_and_gradient(&theta, &mut grad);
+        (grad, value)
+    };
+    let (g1, v1) = run();
+    let (g2, v2) = run();
+    assert_eq!(
+        g1, g2,
+        "fixed thread count must reproduce the fused gradient bitwise"
+    );
+    assert_eq!(v1.to_bits(), v2.to_bits());
 }
 
 #[test]
