@@ -49,4 +49,4 @@ pub use dataset::{Dataset, Sample};
 pub use features::{FeatureMapKind, HistoryFeaturizer, McpConfig};
 pub use imbalance::ImbalanceStrategy;
 pub use model::DmcpModel;
-pub use train::{train, TrainConfig};
+pub use train::{train, SolverMode, TrainConfig};

@@ -16,17 +16,26 @@
 //! Optional per-sample weights implement the "weighted data" imbalance
 //! strategy (`w_i = 1 / log(1 + #{(c,d)})`, Section 3.3).
 //!
-//! # Fused evaluation
+//! # Fused, batched evaluation
 //!
 //! The ADMM solvers always need the value and the gradient *at the same
 //! point*, so [`DmcpObjective`] overrides
-//! [`SmoothObjective::value_and_gradient`] with a fused per-sample kernel:
-//! the linear scores `Θ⊤ f` are accumulated **once** per sample and feed both
-//! the cross-entropy terms and the softmax residuals, instead of the two
-//! separate score passes the `value` + `gradient` pair would pay.  The fused
-//! path performs the same floating-point operations in the same order as the
-//! separate calls, so it matches them bitwise (property-tested in
-//! `tests/parallel_equivalence.rs`).
+//! [`SmoothObjective::value_and_gradient`] with a fused kernel: the linear
+//! scores `Θ⊤ f` are accumulated **once** per sample and feed both the
+//! cross-entropy terms and the softmax residuals, instead of the two
+//! separate score passes the `value` + `gradient` pair would pay.
+//!
+//! The fused path is also **batched**: the cohort's feature vectors are
+//! packed once at construction into a sample-major [`CsrMatrix`], and each
+//! evaluation walks a shard as one `CSR × Θ` scores pass, one softmax/
+//! residual sweep over the packed score block, and one `CSRᵀ` scatter —
+//! three linear passes over contiguous arrays instead of per-sample pointer
+//! chasing through `N` tiny sparse vectors, with the row kernels
+//! register-blocked over the `C + D` outputs.  The batched kernel performs
+//! the same floating-point operations in the same order as the per-sample
+//! loop ([`DmcpObjective::value_and_gradient_unbatched`]), which in turn
+//! matches the separate `value` + `gradient` pair, so all three agree
+//! bitwise in serial (property-tested in `tests/parallel_equivalence.rs`).
 //!
 //! # Parallel accumulation and determinism
 //!
@@ -54,7 +63,7 @@ use std::ops::Range;
 
 use pfp_math::parallel::{chunk_ranges, tree_reduce_matrices, tree_reduce_sums, WorkerPool};
 use pfp_math::softmax::{cross_entropy, softmax, softmax_in_place};
-use pfp_math::Matrix;
+use pfp_math::{CsrMatrix, Matrix};
 use pfp_optim::SmoothObjective;
 
 use crate::dataset::Sample;
@@ -74,6 +83,10 @@ pub struct DmcpObjective<'a> {
     /// Persistent workers for the sharded paths, created once per objective
     /// (`None` on the serial path) and reused by every evaluation of a solve.
     pool: Option<WorkerPool>,
+    /// Sample-major CSR packing of every sample's feature vector, built once
+    /// at construction; the fused evaluation walks this instead of the
+    /// individual [`pfp_math::SparseVec`]s.
+    csr: CsrMatrix,
 }
 
 impl<'a> DmcpObjective<'a> {
@@ -113,6 +126,7 @@ impl<'a> DmcpObjective<'a> {
             Some(w) => w.iter().sum::<f64>().max(1e-12),
             None => samples.len() as f64,
         };
+        let csr = CsrMatrix::from_rows(num_features, samples.iter().map(|s| &s.features));
         Self {
             samples,
             weights,
@@ -122,6 +136,7 @@ impl<'a> DmcpObjective<'a> {
             threads: 1,
             total_weight,
             pool: None,
+            csr,
         }
     }
 
@@ -210,8 +225,12 @@ impl<'a> DmcpObjective<'a> {
         }
     }
 
-    /// Fused loss-and-gradient contribution of one contiguous sample range.
+    /// Fused loss-and-gradient contribution of one contiguous sample range,
+    /// walking the per-sample [`pfp_math::SparseVec`]s.
     ///
+    /// This is the reference implementation of the fused kernel; the hot path
+    /// is [`Self::value_and_gradient_range_batched`], which performs the same
+    /// floating-point operations in the same order over the CSR packing.
     /// Computes the linear scores `Θ⊤ f` **once** per sample and feeds them to
     /// both the cross-entropy terms (returned, weighted, not yet normalised)
     /// and the softmax residuals scattered into `grad` — where the separate
@@ -222,7 +241,7 @@ impl<'a> DmcpObjective<'a> {
     ///
     /// Operation order per element is identical to the separate paths, so the
     /// fused results match them bitwise.
-    fn value_and_gradient_range(
+    fn value_and_gradient_range_per_sample(
         &self,
         theta: &Matrix,
         range: Range<usize>,
@@ -257,6 +276,95 @@ impl<'a> DmcpObjective<'a> {
             s.features.scatter_gradient(contrib, grad);
         }
         loss
+    }
+
+    /// Fused loss-and-gradient contribution of one contiguous sample range,
+    /// batched over the CSR packing of the cohort — the hot kernel.
+    ///
+    /// Three linear passes instead of `2·range.len()` sparse-vector walks:
+    ///
+    /// 1. **`CSR × Θ`**: [`CsrMatrix::accumulate_scores_range`] fills a packed
+    ///    `range.len() × (C + D)` score block, register-blocked over the
+    ///    outputs.
+    /// 2. **Softmax sweep**: each sample's row of the block is turned in
+    ///    place into its weighted softmax residual, accumulating the
+    ///    cross-entropy loss along the way.
+    /// 3. **`CSRᵀ` scatter**: [`CsrMatrix::scatter_gradient_range`] scatters
+    ///    the whole residual block into `grad`.
+    ///
+    /// Per-element operation order matches
+    /// [`Self::value_and_gradient_range_per_sample`] exactly (each row's
+    /// scores, softmax and scatter happen in the same order; rows are visited
+    /// in the same order), so the batched results are bitwise identical.
+    fn value_and_gradient_range_batched(
+        &self,
+        theta: &Matrix,
+        range: Range<usize>,
+        grad: &mut Matrix,
+    ) -> f64 {
+        // The packed score block (`range.len() × (C+D)`, ~325 KB at fig-2
+        // scale) is reused across evaluations via a thread-local buffer: the
+        // serial path and each persistent `WorkerPool` worker allocate it
+        // once per solve instead of once per evaluation.  Zeroing (`fill`)
+        // is a memset, far cheaper than a fresh large allocation.
+        thread_local! {
+            static SCORE_BLOCK: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCORE_BLOCK.with(|cell| {
+            let mut block = cell.borrow_mut();
+            let k = self.num_outputs();
+            let norm = self.total_weight;
+            block.clear();
+            block.resize(range.len() * k, 0.0);
+            self.csr
+                .accumulate_scores_range(theta, range.clone(), &mut block);
+            let mut loss = 0.0;
+            for (local, i) in range.clone().enumerate() {
+                let s = &self.samples[i];
+                let row = &mut block[local * k..(local + 1) * k];
+                let (cu_scores, dur_scores) = row.split_at_mut(self.num_cus);
+                let w = self.weight(i);
+                let wn = w / norm;
+                let mut l = cross_entropy(cu_scores, s.cu_label);
+                softmax_in_place(cu_scores);
+                for (c, out) in cu_scores.iter_mut().enumerate() {
+                    *out = wn * (*out - if c == s.cu_label { 1.0 } else { 0.0 });
+                }
+                if self.num_durations > 1 {
+                    l += cross_entropy(dur_scores, s.duration_label);
+                    softmax_in_place(dur_scores);
+                    for (d, out) in dur_scores.iter_mut().enumerate() {
+                        *out = wn * (*out - if d == s.duration_label { 1.0 } else { 0.0 });
+                    }
+                } else {
+                    dur_scores[0] = 0.0;
+                }
+                loss += w * l;
+            }
+            self.csr.scatter_gradient_range(&block, range, grad);
+            loss
+        })
+    }
+
+    /// The fused evaluation over the per-sample sparse vectors, bypassing the
+    /// batched CSR kernel — serial only.
+    ///
+    /// This is the reference the batched hot path is verified against
+    /// (bitwise in the property suite) and the "before" side of the batched
+    /// kernel timings in `repro_fused_speedup`; solvers never call it.
+    pub fn value_and_gradient_unbatched(&self, theta: &Matrix, grad: &mut Matrix) -> f64 {
+        grad.fill(0.0);
+        let mut scores = vec![0.0; self.num_outputs()];
+        let mut contrib = vec![0.0; self.num_outputs()];
+        let loss = self.value_and_gradient_range_per_sample(
+            theta,
+            0..self.samples.len(),
+            grad,
+            &mut scores,
+            &mut contrib,
+        );
+        loss / self.total_weight
     }
 
     /// The per-thread sample ranges for the current thread count.
@@ -317,33 +425,17 @@ impl SmoothObjective for DmcpObjective<'_> {
         let shards = self.shards();
         if shards.len() <= 1 {
             grad.fill(0.0);
-            let mut scores = vec![0.0; self.num_outputs()];
-            let mut contrib = vec![0.0; self.num_outputs()];
-            let loss = self.value_and_gradient_range(
-                theta,
-                0..self.samples.len(),
-                grad,
-                &mut scores,
-                &mut contrib,
-            );
+            let loss = self.value_and_gradient_range_batched(theta, 0..self.samples.len(), grad);
             return loss / self.total_weight;
         }
-        // Each pool worker accumulates its shard's loss and gradient in one
-        // fused pass with its own scratch buffers; the scalar and matrix
-        // partials are then tree-reduced in the same fixed shard order the
-        // separate paths use, preserving the determinism contract.
+        // Each pool worker runs the batched CSR kernel over its shard's row
+        // range; the scalar and matrix partials are then tree-reduced in the
+        // same fixed shard order the separate paths use, preserving the
+        // determinism contract.
         let (rows, cols) = grad.shape();
         let partials = self.run_sharded(shards, |range| {
             let mut partial = Matrix::zeros(rows, cols);
-            let mut scores = vec![0.0; self.num_outputs()];
-            let mut contrib = vec![0.0; self.num_outputs()];
-            let loss = self.value_and_gradient_range(
-                theta,
-                range,
-                &mut partial,
-                &mut scores,
-                &mut contrib,
-            );
+            let loss = self.value_and_gradient_range_batched(theta, range, &mut partial);
             (loss, partial)
         });
         let (losses, grads): (Vec<f64>, Vec<Matrix>) = partials.into_iter().unzip();
@@ -537,6 +629,44 @@ mod tests {
                 "fused value must match bitwise"
             );
         }
+    }
+
+    #[test]
+    fn batched_csr_evaluation_matches_unbatched_per_sample_bitwise() {
+        let samples = toy_samples();
+        let weights = [1.0, 0.5, 2.0, 0.25];
+        for weights in [None, Some(&weights[..])] {
+            let obj = DmcpObjective::new(&samples, weights, 3, 2, 2);
+            let theta = Matrix::from_fn(3, 4, |r, c| 0.6 * (r as f64) - 0.1 * (c as f64));
+            let mut grad_batched = Matrix::zeros(3, 4);
+            let value_batched = obj.value_and_gradient(&theta, &mut grad_batched);
+            let mut grad_unbatched = Matrix::zeros(3, 4);
+            let value_unbatched = obj.value_and_gradient_unbatched(&theta, &mut grad_unbatched);
+            assert_eq!(
+                grad_batched, grad_unbatched,
+                "batched CSR gradient must match the per-sample walk bitwise"
+            );
+            assert_eq!(value_batched.to_bits(), value_unbatched.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_csr_evaluation_handles_single_class_duration_head() {
+        let samples: Vec<Sample> = toy_samples()
+            .into_iter()
+            .map(|mut s| {
+                s.duration_label = 0;
+                s
+            })
+            .collect();
+        let obj = DmcpObjective::new(&samples, None, 3, 2, 1);
+        let theta = Matrix::from_fn(3, 3, |r, c| 0.3 * (r as f64) - 0.2 * (c as f64));
+        let mut grad_batched = Matrix::zeros(3, 3);
+        let value_batched = obj.value_and_gradient(&theta, &mut grad_batched);
+        let mut grad_unbatched = Matrix::zeros(3, 3);
+        let value_unbatched = obj.value_and_gradient_unbatched(&theta, &mut grad_unbatched);
+        assert_eq!(grad_batched, grad_unbatched);
+        assert_eq!(value_batched.to_bits(), value_unbatched.to_bits());
     }
 
     #[test]

@@ -17,16 +17,24 @@ use pfp_optim::LearningRate;
 
 const THREAD_COUNTS: [usize; 2] = [1, 4];
 
-/// One full Θ-update: a single outer iteration with a fixed inner budget
-/// (tolerance 0 disables early stopping so every run does identical work).
-fn one_theta_update_config() -> AdmmConfig {
+/// One full legacy Θ-update: a single outer iteration with a fixed inner
+/// budget (tolerance 0 disables early stopping so every run does identical
+/// work).
+fn one_theta_update_fixed() -> AdmmConfig {
+    AdmmConfig::fixed_budget(1e-3, 1.0, LearningRate::Constant(0.5), 10, 1, 0.0)
+}
+
+/// One accelerated Θ-update with the same inner cap (gradient-norm exits may
+/// stop it earlier — that asymmetry *is* the feature being tracked).
+fn one_theta_update_accelerated() -> AdmmConfig {
     AdmmConfig {
         gamma: 1e-3,
         rho: 1.0,
-        learning_rate: LearningRate::Constant(0.5),
         max_inner_iters: 10,
         max_outer_iters: 1,
-        tolerance: 0.0,
+        eps_abs: 0.0,
+        eps_rel: 0.0,
+        ..AdmmConfig::default()
     }
 }
 
@@ -35,7 +43,6 @@ fn admm_inner(c: &mut Criterion) {
         ("small", CohortConfig::tiny(11)),
         ("medium", CohortConfig::small(11)),
     ];
-    let config = one_theta_update_config();
     for (label, cohort_config) in cohorts {
         let dataset = Dataset::from_cohort(&generate_cohort(&cohort_config));
         let kind = dataset.default_mcp_kind();
@@ -52,11 +59,16 @@ fn admm_inner(c: &mut Criterion) {
             let objective =
                 DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
                     .with_threads(threads);
-            group.bench_function(BenchmarkId::new("theta_update", threads), |b| {
-                b.iter(|| {
-                    std::hint::black_box(solve_group_lasso(&objective, theta0.clone(), &config))
+            for (kind, config) in [
+                ("theta_update_fixed", one_theta_update_fixed()),
+                ("theta_update_accel", one_theta_update_accelerated()),
+            ] {
+                group.bench_function(BenchmarkId::new(kind, threads), |b| {
+                    b.iter(|| {
+                        std::hint::black_box(solve_group_lasso(&objective, theta0.clone(), &config))
+                    });
                 });
-            });
+            }
         }
         group.finish();
     }

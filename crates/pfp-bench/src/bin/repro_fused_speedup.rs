@@ -1,77 +1,41 @@
-//! Fused-evaluation speedup proof for the ADMM inner loop.
+//! Fused-evaluation + time-to-tolerance proof for the ADMM solver.
 //!
 //! ```text
-//! cargo run --release -p pfp-bench --bin repro_fused_speedup -- --scale 0.05
+//! cargo run --release -p pfp-bench --bin repro_fused_speedup -- --scale 0.1 --threads 4
 //! ```
 //!
-//! Three things, in order:
+//! Four things, in order:
 //!
 //! 1. **Equivalence** — asserts that the fused
-//!    `SmoothObjective::value_and_gradient` matches the separate `value` +
-//!    `gradient` calls bitwise in serial and to ≤ 1e-12 pooled.
-//! 2. **Passes per iteration** — instruments a real ADMM solve with a
-//!    counting objective and prints how many per-sample evaluation passes the
-//!    inner loop performs now versus what the pre-fusion call pattern (one
-//!    gradient per inner step, one separate value per outer trace entry, two
-//!    un-fused evaluations per plain-GD step) would have paid at the same
-//!    iteration counts.
-//! 3. **Timings** — fused vs separate evaluation wall time, serial and
-//!    pooled, and the instrumented solve time.
-//!
-//! The numbers are emitted to stdout as a table and to `BENCH_admm.json` as a
-//! machine-readable record seeding the performance trajectory.
+//!    `SmoothObjective::value_and_gradient` (batched over the cohort CSR)
+//!    matches the separate `value` + `gradient` calls *and* the per-sample
+//!    unbatched fused walk bitwise in serial, and to ≤ 1e-12 pooled.
+//! 2. **Convergence (before/after)** — runs the legacy fixed-budget solver
+//!    and the adaptive time-to-tolerance solver (adaptive ρ, over-relaxation
+//!    and the accelerated line-search Θ-update) on the same cohort, printing
+//!    a convergence table: outer/inner iterations, total objective passes,
+//!    passes-to-reach-the-fixed-budget-objective, solve seconds, final
+//!    objective and gap.  **Asserts** the adaptive solve reaches the
+//!    fixed-budget final objective (within 1e-6) with strictly fewer passes —
+//!    the CI regression gate — and with ≥ 2× fewer passes-to-tolerance on
+//!    non-`--fast` runs.
+//! 3. **Timings** — fused vs separate vs unbatched evaluation wall time,
+//!    serial and pooled.
+//! 4. **Machine-readable record** — everything above plus the requested
+//!    thread count and the host's `available_parallelism` goes to
+//!    `BENCH_admm.json`, so pooled-slower-than-serial numbers from a 1-core
+//!    host are attributable from the JSON alone.
 
-use std::cell::Cell;
 use std::time::Instant;
 
-use pfp_bench::{render_table, Args};
+use pfp_bench::{render_table, Args, CountingObjective};
 use pfp_core::loss::DmcpObjective;
-use pfp_core::{Dataset, TrainConfig};
+use pfp_core::{Dataset, SolverMode};
 use pfp_ehr::generate_cohort;
 use pfp_math::Matrix;
-use pfp_optim::admm::{solve_group_lasso, SmoothObjective};
+use pfp_optim::admm::{solve_group_lasso, AdmmResult, SmoothObjective};
 use pfp_optim::gd::minimize_vector;
 use pfp_optim::LearningRate;
-
-/// Counts how often each `SmoothObjective` entry point is used by the solver.
-struct CountingObjective<'a> {
-    inner: DmcpObjective<'a>,
-    value_calls: Cell<usize>,
-    gradient_calls: Cell<usize>,
-    fused_calls: Cell<usize>,
-}
-
-impl<'a> CountingObjective<'a> {
-    fn new(inner: DmcpObjective<'a>) -> Self {
-        Self {
-            inner,
-            value_calls: Cell::new(0),
-            gradient_calls: Cell::new(0),
-            fused_calls: Cell::new(0),
-        }
-    }
-}
-
-impl SmoothObjective for CountingObjective<'_> {
-    fn value(&self, theta: &Matrix) -> f64 {
-        self.value_calls.set(self.value_calls.get() + 1);
-        self.inner.value(theta)
-    }
-    fn gradient(&self, theta: &Matrix, grad: &mut Matrix) {
-        self.gradient_calls.set(self.gradient_calls.get() + 1);
-        self.inner.gradient(theta, grad);
-    }
-    fn value_and_gradient(&self, theta: &Matrix, grad: &mut Matrix) -> f64 {
-        self.fused_calls.set(self.fused_calls.get() + 1);
-        self.inner.value_and_gradient(theta, grad)
-    }
-    fn shape(&self) -> (usize, usize) {
-        self.inner.shape()
-    }
-    fn row_curvature_bounds(&self) -> Option<Vec<f64>> {
-        self.inner.row_curvature_bounds()
-    }
-}
 
 fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     f(); // warm-up
@@ -80,6 +44,22 @@ fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Objective passes the adaptive solve needed before its trace first reached
+/// `target` (1 initial evaluation + the per-outer evaluation counts).
+fn passes_to_reach(result: &AdmmResult, target: f64) -> Option<usize> {
+    let mut cumulative = 1usize;
+    if result.objective_trace[0] <= target {
+        return Some(cumulative);
+    }
+    for (outer, evals) in result.evaluations_by_outer.iter().enumerate() {
+        cumulative += evals;
+        if result.objective_trace[outer + 1] <= target {
+            return Some(cumulative);
+        }
+    }
+    None
 }
 
 fn main() {
@@ -91,18 +71,18 @@ fn main() {
     let rows = dataset.total_feature_dim();
     let cols = dataset.num_cus + dataset.num_durations;
     let theta = Matrix::from_fn(rows, cols, |r, k| 1e-3 * (r as f64) - 1e-2 * (k as f64));
-    let pooled_threads = 4usize;
+    let pooled_threads = args.resolved_threads();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let reps = if args.fast { 3 } else { 10 };
 
     println!(
-        "Fused value+gradient evaluation — {} patients, {} samples, Θ ∈ R^{{{rows}×{cols}}}, \
-         pool = {pooled_threads} workers, host parallelism = {}\n",
+        "ADMM solver benchmark — {} patients, {} samples, Θ ∈ R^{{{rows}×{cols}}}, \
+         pool = {pooled_threads} workers, host parallelism = {available}\n",
         cohort.patients.len(),
         samples.len(),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
-    // --- 1. Equivalence: fused must match separate, bitwise in serial. ---
+    // --- 1. Equivalence: batched fused must match every other path. ---
     let serial = DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations);
     let mut grad_sep = Matrix::zeros(rows, cols);
     serial.gradient(&theta, &mut grad_sep);
@@ -111,13 +91,20 @@ fn main() {
     let value_fused = serial.value_and_gradient(&theta, &mut grad_fused);
     assert_eq!(
         grad_fused, grad_sep,
-        "fused serial gradient must match the separate path bitwise"
+        "batched fused serial gradient must match the separate path bitwise"
     );
     assert_eq!(
         value_fused.to_bits(),
         value_sep.to_bits(),
-        "fused serial value must match the separate path bitwise"
+        "batched fused serial value must match the separate path bitwise"
     );
+    let mut grad_unbatched = Matrix::zeros(rows, cols);
+    let value_unbatched = serial.value_and_gradient_unbatched(&theta, &mut grad_unbatched);
+    assert_eq!(
+        grad_fused, grad_unbatched,
+        "batched CSR gradient must match the per-sample walk bitwise"
+    );
+    assert_eq!(value_fused.to_bits(), value_unbatched.to_bits());
     let pooled = DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
         .with_threads(pooled_threads);
     let mut grad_pooled = Matrix::zeros(rows, cols);
@@ -129,45 +116,126 @@ fn main() {
         "pooled fused evaluation diverged: grad {pooled_grad_diff:e}, value {pooled_value_diff:e}"
     );
     println!(
-        "Equivalence: fused == separate bitwise (serial); pooled fused within \
-         {pooled_grad_diff:.1e} of serial.\n"
+        "Equivalence: batched fused == separate == unbatched bitwise (serial); \
+         pooled fused within {pooled_grad_diff:.1e} of serial.\n"
     );
 
-    // --- 2. Passes per inner iteration, counted on a real solve. ---
-    let train_config = if args.fast {
-        TrainConfig::fast()
-    } else {
-        TrainConfig::paper_default()
-    };
-    let counting = CountingObjective::new(
+    // --- 2. Convergence: fixed-budget baseline vs adaptive to-tolerance. ---
+    let base_config = args.train_config();
+    let fixed_config = base_config.with_solver(SolverMode::FixedBudget);
+    let theta0 = Matrix::zeros(rows, cols);
+
+    let fixed_counting = CountingObjective::new(
         DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
             .with_threads(pooled_threads),
     );
-    let theta0 = Matrix::zeros(rows, cols);
     let start = Instant::now();
-    let result = solve_group_lasso(&counting, theta0, &train_config.admm_config());
-    let solve_secs = start.elapsed().as_secs_f64();
-    assert!(result.theta.is_finite());
-    let fused = counting.fused_calls.get();
-    let grads = counting.gradient_calls.get();
-    let values = counting.value_calls.get();
-    assert_eq!(values, 0, "the solver must never evaluate the value alone");
-    let outers = result.outer_iterations;
+    let fixed = solve_group_lasso(&fixed_counting, theta0.clone(), &fixed_config.admm_config());
+    let fixed_secs = start.elapsed().as_secs_f64();
+    assert!(fixed.theta.is_finite());
     assert_eq!(
-        fused,
-        outers + 1,
-        "one fused evaluation per outer plus start"
+        fixed_counting.value_calls(),
+        0,
+        "the solver must never evaluate the value alone"
     );
-    // Each outer's first inner step reuses the trailing fused gradient, so
-    // the total inner-step count is the separate gradients plus one per outer.
-    let inner_total = grads + outers;
-    // One per-sample score pass per evaluation, fused or not.
-    let passes_fused = grads + fused;
-    // Pre-fusion ADMM: one gradient per inner step + one separate value per
-    // trace entry (outers + 1).
-    let passes_legacy = inner_total + outers + 1;
-    let per_iter_fused = passes_fused as f64 / inner_total as f64;
-    let per_iter_legacy = passes_legacy as f64 / inner_total as f64;
+    let fixed_passes = fixed_counting.passes();
+    assert_eq!(
+        fixed_passes, fixed.evaluations,
+        "driver accounting must match the observed calls"
+    );
+    let fixed_final = *fixed.objective_trace.last().unwrap();
+
+    let adaptive_counting = CountingObjective::new(
+        DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations)
+            .with_threads(pooled_threads),
+    );
+    let start = Instant::now();
+    let adaptive = solve_group_lasso(&adaptive_counting, theta0, &base_config.admm_config());
+    let adaptive_secs = start.elapsed().as_secs_f64();
+    assert!(adaptive.theta.is_finite());
+    assert_eq!(
+        adaptive_counting.value_calls() + adaptive_counting.gradient_calls(),
+        0,
+        "the accelerated path must go through the fused entry point only"
+    );
+    let adaptive_passes = adaptive_counting.passes();
+    assert_eq!(adaptive_passes, adaptive.evaluations);
+    let adaptive_final = *adaptive.objective_trace.last().unwrap();
+
+    let gap = adaptive_final - fixed_final;
+    let target = fixed_final + 1e-6;
+    assert!(
+        adaptive_final <= target,
+        "adaptive solve must reach the fixed-budget objective: {adaptive_final} vs {fixed_final}"
+    );
+    let passes_to_tolerance =
+        passes_to_reach(&adaptive, target).expect("trace reached the target objective");
+    // CI regression gate: the adaptive solver may never pay more passes than
+    // the fixed-budget baseline it replaces.
+    assert!(
+        adaptive_passes < fixed_passes,
+        "adaptive passes {adaptive_passes} must stay below fixed-budget {fixed_passes}"
+    );
+    let passes_ratio = fixed_passes as f64 / passes_to_tolerance as f64;
+    if !args.fast {
+        assert!(
+            passes_ratio >= 2.0,
+            "adaptive solver must reach the fixed-budget objective with ≥2× fewer passes \
+             (got {passes_ratio:.2}×: {fixed_passes} vs {passes_to_tolerance})"
+        );
+    }
+
+    let header: Vec<String> = ["quantity", "fixed budget", "adaptive"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let table = vec![
+        vec![
+            "outer iterations".to_string(),
+            fixed.outer_iterations.to_string(),
+            format!(
+                "{} ({})",
+                adaptive.outer_iterations,
+                if adaptive.converged {
+                    "converged"
+                } else {
+                    "cap"
+                }
+            ),
+        ],
+        vec![
+            "inner steps".to_string(),
+            fixed.inner_iterations.to_string(),
+            adaptive.inner_iterations.to_string(),
+        ],
+        vec![
+            "objective passes / solve".to_string(),
+            fixed_passes.to_string(),
+            adaptive_passes.to_string(),
+        ],
+        vec![
+            "passes to fixed-budget objective".to_string(),
+            fixed_passes.to_string(),
+            format!("{passes_to_tolerance} ({passes_ratio:.1}× fewer)"),
+        ],
+        vec![
+            "solve seconds".to_string(),
+            format!("{fixed_secs:.2}"),
+            format!("{adaptive_secs:.2}"),
+        ],
+        vec![
+            "final objective".to_string(),
+            format!("{fixed_final:.6}"),
+            format!("{adaptive_final:.6} (gap {gap:+.2e})"),
+        ],
+        vec![
+            "final rho".to_string(),
+            format!("{:.3}", fixed.final_rho),
+            format!("{:.3}", adaptive.final_rho),
+        ],
+    ];
+    println!("Convergence (before/after):\n");
+    print!("{}", render_table(&header, &table));
 
     // Plain GD (`minimize_vector`): one fused call per iteration plus start,
     // where the pre-fusion loop made two calls per iteration, each computing
@@ -186,41 +254,14 @@ fn main() {
     );
     assert_eq!(gd_calls, gd.iterations + 1);
 
-    let header: Vec<String> = ["quantity", "legacy", "fused"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    let table = vec![
-        vec![
-            "ADMM evaluation passes / solve".to_string(),
-            passes_legacy.to_string(),
-            passes_fused.to_string(),
-        ],
-        vec![
-            "ADMM passes / inner iteration".to_string(),
-            format!("{per_iter_legacy:.2}"),
-            format!("{per_iter_fused:.2}"),
-        ],
-        vec![
-            "GD objective calls / iteration".to_string(),
-            "2 (×2 halves ≈ 4 passes)".to_string(),
-            format!(
-                "{:.2} (fused, 1 pass)",
-                gd_calls as f64 / gd.iterations as f64
-            ),
-        ],
-    ];
-    println!(
-        "ADMM solve: {outers} outer iterations, {inner_total} inner steps, \
-         {fused} fused + {grads} gradient evaluations in {solve_secs:.2} s\n"
-    );
-    print!("{}", render_table(&header, &table));
-
-    // --- 3. Timings: fused vs separate, serial and pooled. ---
+    // --- 3. Timings: batched vs unbatched vs separate, serial and pooled. ---
     let mut grad = Matrix::zeros(rows, cols);
     let separate_serial = time(reps, || {
         serial.gradient(&theta, &mut grad);
         std::hint::black_box(serial.value(&theta));
+    });
+    let unbatched_serial = time(reps, || {
+        std::hint::black_box(serial.value_and_gradient_unbatched(&theta, &mut grad));
     });
     let fused_serial = time(reps, || {
         std::hint::black_box(serial.value_and_gradient(&theta, &mut grad));
@@ -238,9 +279,10 @@ fn main() {
         .collect();
     let timing_rows: Vec<Vec<String>> = [
         ("separate serial", separate_serial),
-        ("fused serial", fused_serial),
+        ("fused unbatched serial", unbatched_serial),
+        ("fused batched CSR serial", fused_serial),
         ("separate pooled", separate_pooled),
-        ("fused pooled", fused_pooled),
+        ("fused batched CSR pooled", fused_pooled),
     ]
     .iter()
     .map(|(label, secs)| {
@@ -254,25 +296,41 @@ fn main() {
     println!();
     print!("{}", render_table(&header, &timing_rows));
 
-    // --- Machine-readable record. ---
+    // --- 4. Machine-readable record. ---
     let json = format!(
         "{{\n  \"bench\": \"admm_inner\",\n  \"patients\": {},\n  \"samples\": {},\n  \
-         \"features\": {rows},\n  \"outputs\": {cols},\n  \"pooled_threads\": {pooled_threads},\n  \
+         \"features\": {rows},\n  \"outputs\": {cols},\n  \
+         \"pooled_threads\": {pooled_threads},\n  \
+         \"available_parallelism\": {available},\n  \
          \"fused_matches_separate_bitwise_serial\": true,\n  \
+         \"batched_matches_unbatched_bitwise_serial\": true,\n  \
          \"pooled_max_abs_grad_diff\": {pooled_grad_diff:e},\n  \
-         \"eval_ms\": {{\"separate_serial\": {:.4}, \"fused_serial\": {:.4}, \
-         \"separate_pooled\": {:.4}, \"fused_pooled\": {:.4}}},\n  \
-         \"admm\": {{\"outer_iterations\": {outers}, \"inner_iterations\": {inner_total}, \
-         \"fused_evaluations\": {fused}, \"gradient_evaluations\": {grads}, \
-         \"value_evaluations\": {values}, \"passes_fused\": {passes_fused}, \
-         \"passes_legacy\": {passes_legacy}, \"passes_per_inner_fused\": {per_iter_fused:.4}, \
-         \"passes_per_inner_legacy\": {per_iter_legacy:.4}, \"solve_seconds\": {solve_secs:.4}}}\n}}\n",
+         \"eval_ms\": {{\"separate_serial\": {:.4}, \"fused_unbatched_serial\": {:.4}, \
+         \"fused_batched_serial\": {:.4}, \"separate_pooled\": {:.4}, \
+         \"fused_batched_pooled\": {:.4}}},\n  \
+         \"convergence\": {{\n    \
+         \"fixed_budget\": {{\"outer_iterations\": {}, \"inner_iterations\": {}, \
+         \"passes\": {fixed_passes}, \"solve_seconds\": {fixed_secs:.4}, \
+         \"final_objective\": {fixed_final:.9}, \"final_rho\": {:.6}}},\n    \
+         \"adaptive\": {{\"outer_iterations\": {}, \"inner_iterations\": {}, \
+         \"passes\": {adaptive_passes}, \"passes_to_tolerance\": {passes_to_tolerance}, \
+         \"solve_seconds\": {adaptive_secs:.4}, \"final_objective\": {adaptive_final:.9}, \
+         \"final_rho\": {:.6}, \"converged\": {}}},\n    \
+         \"objective_gap\": {gap:.3e},\n    \"passes_ratio\": {passes_ratio:.4}\n  }}\n}}\n",
         cohort.patients.len(),
         samples.len(),
         separate_serial * 1e3,
+        unbatched_serial * 1e3,
         fused_serial * 1e3,
         separate_pooled * 1e3,
         fused_pooled * 1e3,
+        fixed.outer_iterations,
+        fixed.inner_iterations,
+        fixed.final_rho,
+        adaptive.outer_iterations,
+        adaptive.inner_iterations,
+        adaptive.final_rho,
+        adaptive.converged,
     );
     std::fs::write("BENCH_admm.json", &json).expect("failed to write BENCH_admm.json");
     println!("\nWrote BENCH_admm.json.");

@@ -7,6 +7,12 @@
 //! * `--seed <u64>`    — RNG seed (default 42).
 //! * `--fast`          — use the fast training configuration (fewer ADMM
 //!   iterations); intended for smoke tests.
+//! * `--threads <usize>` — worker threads for training and the pooled
+//!   evaluation paths (default 1 = serial, the historical behaviour of every
+//!   repro binary; `0` = all available parallelism).  Benchmark binaries
+//!   record the requested count *and* the host's `available_parallelism` in
+//!   their JSON output so single-core-host numbers are attributable after
+//!   the fact.
 
 use pfp_ehr::CohortConfig;
 
@@ -19,6 +25,9 @@ pub struct Args {
     pub seed: u64,
     /// Whether to use the fast training configuration.
     pub fast: bool,
+    /// Worker threads for training and pooled evaluation paths
+    /// (`1` = serial, `0` = all available).
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -27,6 +36,7 @@ impl Default for Args {
             scale: 0.05,
             seed: 42,
             fast: false,
+            threads: 1,
         }
     }
 }
@@ -54,10 +64,21 @@ impl Args {
                     out.seed = v.parse().expect("--seed must be an integer");
                 }
                 "--fast" => out.fast = true,
-                other => panic!("unknown argument: {other} (expected --scale, --seed, --fast)"),
+                "--threads" => {
+                    let v = iter.next().expect("--threads requires a value");
+                    out.threads = v.parse().expect("--threads must be an integer");
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected --scale, --seed, --fast, --threads)"
+                ),
             }
         }
         out
+    }
+
+    /// The resolved worker-thread count (`--threads 0` → all available).
+    pub fn resolved_threads(&self) -> usize {
+        pfp_math::parallel::resolve_threads(self.threads)
     }
 
     /// Parse from the process arguments.
@@ -70,7 +91,9 @@ impl Args {
         CohortConfig::scaled(self.scale, self.seed)
     }
 
-    /// The training configuration implied by these arguments.
+    /// The training configuration implied by these arguments (seed and
+    /// worker-thread count included, so `--threads` reaches every binary
+    /// that trains through this config).
     pub fn train_config(&self) -> pfp_core::TrainConfig {
         let mut cfg = if self.fast {
             pfp_core::TrainConfig::fast()
@@ -78,6 +101,7 @@ impl Args {
             pfp_core::TrainConfig::paper_default()
         };
         cfg.seed = self.seed;
+        cfg.threads = self.threads;
         cfg
     }
 }
@@ -98,14 +122,32 @@ mod tests {
 
     #[test]
     fn flags_are_parsed() {
-        let a = Args::parse_from(strings(&["--scale", "0.2", "--seed", "7", "--fast"]));
+        let a = Args::parse_from(strings(&[
+            "--scale",
+            "0.2",
+            "--seed",
+            "7",
+            "--fast",
+            "--threads",
+            "2",
+        ]));
         assert!((a.scale - 0.2).abs() < 1e-12);
         assert_eq!(a.seed, 7);
         assert!(a.fast);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.resolved_threads(), 2);
+        assert_eq!(a.train_config().threads, 2, "--threads must reach training");
         assert!(
             a.train_config().max_outer_iters
                 <= pfp_core::TrainConfig::paper_default().max_outer_iters
         );
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let a = Args::parse_from(strings(&["--threads", "0"]));
+        assert_eq!(a.threads, 0);
+        assert!(a.resolved_threads() >= 1);
     }
 
     #[test]

@@ -3,11 +3,15 @@
 //! Criterion micro-benchmarks (`benches/`) and the table/figure reproduction
 //! binaries (`src/bin/repro_*.rs`).
 //!
-//! This library crate only hosts the tiny bits shared by those binaries:
-//! a dependency-free command-line flag parser and plain-text table rendering.
+//! This library crate only hosts the tiny bits shared by those binaries (and
+//! by the workspace's integration tests): a dependency-free command-line
+//! flag parser, plain-text table rendering, and the evaluation-counting
+//! objective decorator used by the convergence regression gates.
 
 pub mod cli;
+pub mod counting;
 pub mod table;
 
 pub use cli::Args;
+pub use counting::CountingObjective;
 pub use table::render_table;

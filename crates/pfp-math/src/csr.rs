@@ -1,0 +1,278 @@
+//! Sample-major compressed-sparse-row matrix over a cohort's feature vectors.
+//!
+//! The DMCP objective walks every sample's sparse feature vector twice per
+//! evaluation (scores `Θ⊤ f_i`, then the gradient scatter).  Stored as one
+//! [`SparseVec`] per sample, each walk chases a separate pair of heap
+//! allocations; packing the cohort into one CSR matrix once per solve makes
+//! each evaluation two linear passes over three contiguous arrays — one
+//! `CSR × Θ` scores pass and one `CSRᵀ` scatter — with the row kernels
+//! register-blocked over the output columns.
+//!
+//! The kernels perform **exactly the same floating-point operations in the
+//! same order** as the per-[`SparseVec`] kernels
+//! ([`SparseVec::accumulate_scores`] / [`SparseVec::scatter_gradient`]) on
+//! the same rows, so batched results match the per-sample path bitwise.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+use crate::dense::Matrix;
+use crate::sparse::SparseVec;
+
+/// Immutable sample-major CSR matrix: row `i` holds sample `i`'s sparse
+/// feature vector over `dim` feature columns.
+///
+/// ```
+/// use pfp_math::{CsrMatrix, Matrix, SparseVec};
+///
+/// let rows = vec![
+///     SparseVec::from_pairs(3, vec![(0, 1.0), (2, 2.0)]),
+///     SparseVec::from_pairs(3, vec![(1, -1.0)]),
+/// ];
+/// let csr = CsrMatrix::from_rows(3, rows.iter());
+/// assert_eq!((csr.rows(), csr.dim(), csr.nnz()), (2, 3, 3));
+///
+/// let theta = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let mut scores = vec![0.0; 4];
+/// csr.accumulate_scores_range(&theta, 0..2, &mut scores);
+/// assert_eq!(scores, vec![11.0, 14.0, -3.0, -4.0]); // [Θ⊤f_0, Θ⊤f_1]
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    dim: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Pack sparse rows (each of dimensionality `dim`) into CSR form.
+    ///
+    /// # Panics
+    /// Panics if a row's dimensionality differs from `dim`.
+    pub fn from_rows<'a>(dim: usize, rows: impl IntoIterator<Item = &'a SparseVec>) -> Self {
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for row in rows {
+            assert_eq!(row.dim(), dim, "row dimensionality mismatch");
+            indices.extend_from_slice(row.indices());
+            values.extend_from_slice(row.values());
+            indptr.push(indices.len());
+        }
+        Self {
+            dim,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of feature columns.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row `i` as parallel `(indices, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let span = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Batched scores pass: for every row `i` in `range`, accumulate
+    /// `out[local·K + k] += Σ_j v_ij · theta[col_ij][k]` where
+    /// `local = i − range.start` and `K = theta.cols()`.
+    ///
+    /// `out` must hold `range.len() · K` entries and is **accumulated into**
+    /// (callers zero it).  The inner multiply-accumulate is register-blocked
+    /// over the output columns: for the workspace-wide `K = 16` (and the
+    /// small-cohort `K = 4` / `K = 8` shapes) the accumulator lives in a
+    /// fixed-size stack array across a row's whole nonzero walk, so scores
+    /// stay in registers instead of round-tripping through `out` per entry.
+    ///
+    /// # Panics
+    /// Panics (debug) on shape mismatches.
+    pub fn accumulate_scores_range(&self, theta: &Matrix, range: Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(theta.rows(), self.dim);
+        debug_assert_eq!(out.len(), range.len() * theta.cols());
+        match theta.cols() {
+            4 => self.scores_blocked::<4>(theta, range, out),
+            8 => self.scores_blocked::<8>(theta, range, out),
+            16 => self.scores_blocked::<16>(theta, range, out),
+            _ => self.scores_generic(theta, range, out),
+        }
+    }
+
+    fn scores_blocked<const K: usize>(&self, theta: &Matrix, range: Range<usize>, out: &mut [f64]) {
+        let data = theta.as_slice();
+        for (local, i) in range.enumerate() {
+            let (indices, values) = self.row(i);
+            let mut acc = [0.0f64; K];
+            for (&col, &v) in indices.iter().zip(values) {
+                let row = &data[col as usize * K..col as usize * K + K];
+                for k in 0..K {
+                    acc[k] += v * row[k];
+                }
+            }
+            let dst = &mut out[local * K..(local + 1) * K];
+            for (o, a) in dst.iter_mut().zip(acc) {
+                *o += a;
+            }
+        }
+    }
+
+    fn scores_generic(&self, theta: &Matrix, range: Range<usize>, out: &mut [f64]) {
+        let cols = theta.cols();
+        let data = theta.as_slice();
+        for (local, i) in range.enumerate() {
+            let (indices, values) = self.row(i);
+            let dst = &mut out[local * cols..(local + 1) * cols];
+            for (&col, &v) in indices.iter().zip(values) {
+                let row = &data[col as usize * cols..col as usize * cols + cols];
+                for (o, &t) in dst.iter_mut().zip(row) {
+                    *o += v * t;
+                }
+            }
+        }
+    }
+
+    /// Batched transpose-scatter pass: for every row `i` in `range`, scatter
+    /// `grad[col_ij][k] += v_ij · contrib[local·K + k]` — the `CSRᵀ ×
+    /// residual` half of a log-linear gradient, one contiguous walk over the
+    /// whole range.
+    ///
+    /// Rows are processed in increasing order and each row's updates land in
+    /// the same order as [`SparseVec::scatter_gradient`] would produce, so
+    /// the batched gradient is bitwise identical to the per-sample loop.
+    ///
+    /// # Panics
+    /// Panics (debug) on shape mismatches.
+    pub fn scatter_gradient_range(&self, contrib: &[f64], range: Range<usize>, grad: &mut Matrix) {
+        debug_assert_eq!(grad.rows(), self.dim);
+        debug_assert_eq!(contrib.len(), range.len() * grad.cols());
+        let cols = grad.cols();
+        let data = grad.as_mut_slice();
+        for (local, i) in range.enumerate() {
+            let (indices, values) = self.row(i);
+            let c = &contrib[local * cols..(local + 1) * cols];
+            for (&col, &v) in indices.iter().zip(values) {
+                let row = &mut data[col as usize * cols..col as usize * cols + cols];
+                for (g, &ck) in row.iter_mut().zip(c) {
+                    *g += v * ck;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<SparseVec> {
+        vec![
+            SparseVec::from_pairs(5, vec![(0, 1.5), (3, -2.0)]),
+            SparseVec::new(5), // empty row
+            SparseVec::from_pairs(5, vec![(1, 0.5), (2, 1.0), (4, 3.0)]),
+            SparseVec::from_pairs(5, vec![(4, -1.0)]),
+        ]
+    }
+
+    #[test]
+    fn from_rows_preserves_layout_and_counts() {
+        let rows = sample_rows();
+        let csr = CsrMatrix::from_rows(5, rows.iter());
+        assert_eq!(csr.rows(), 4);
+        assert_eq!(csr.dim(), 5);
+        assert_eq!(csr.nnz(), 6);
+        for (i, r) in rows.iter().enumerate() {
+            let (idx, val) = csr.row(i);
+            assert_eq!(idx, r.indices());
+            assert_eq!(val, r.values());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimensionality mismatch")]
+    fn from_rows_rejects_mismatched_dim() {
+        let rows = [SparseVec::new(3)];
+        let _ = CsrMatrix::from_rows(5, rows.iter());
+    }
+
+    /// Batched kernels must match the per-SparseVec kernels **bitwise** for
+    /// every output width, including the register-blocked 4/8/16 fast paths.
+    #[test]
+    fn batched_kernels_match_per_sample_kernels_bitwise() {
+        let rows = sample_rows();
+        let csr = CsrMatrix::from_rows(5, rows.iter());
+        for cols in [1usize, 3, 4, 7, 8, 16] {
+            let theta = Matrix::from_fn(5, cols, |r, c| {
+                0.37 * (r as f64 + 1.0) - 0.21 * (c as f64 + 1.0)
+            });
+            // Scores: batched vs per-sample.
+            let mut batched = vec![0.0; rows.len() * cols];
+            csr.accumulate_scores_range(&theta, 0..rows.len(), &mut batched);
+            for (i, r) in rows.iter().enumerate() {
+                let mut expected = vec![0.0; cols];
+                r.accumulate_scores(&theta, &mut expected);
+                for (b, e) in batched[i * cols..(i + 1) * cols].iter().zip(&expected) {
+                    assert_eq!(b.to_bits(), e.to_bits(), "cols={cols} row={i}");
+                }
+            }
+            // Scatter: batched vs per-sample.
+            let contrib: Vec<f64> = (0..rows.len() * cols)
+                .map(|k| 0.11 * (k as f64) - 0.4)
+                .collect();
+            let mut grad_batched = Matrix::zeros(5, cols);
+            csr.scatter_gradient_range(&contrib, 0..rows.len(), &mut grad_batched);
+            let mut grad_per_sample = Matrix::zeros(5, cols);
+            for (i, r) in rows.iter().enumerate() {
+                r.scatter_gradient(&contrib[i * cols..(i + 1) * cols], &mut grad_per_sample);
+            }
+            assert_eq!(grad_batched, grad_per_sample, "cols={cols}");
+        }
+    }
+
+    #[test]
+    fn sub_ranges_cover_the_same_work_as_the_full_range() {
+        let rows = sample_rows();
+        let csr = CsrMatrix::from_rows(5, rows.iter());
+        let cols = 4;
+        let theta = Matrix::from_fn(5, cols, |r, c| (r * cols + c) as f64 * 0.1);
+        let mut full = vec![0.0; rows.len() * cols];
+        csr.accumulate_scores_range(&theta, 0..rows.len(), &mut full);
+        let mut split = vec![0.0; rows.len() * cols];
+        csr.accumulate_scores_range(&theta, 0..2, &mut split[..2 * cols]);
+        csr.accumulate_scores_range(&theta, 2..4, &mut split[2 * cols..]);
+        assert_eq!(full, split);
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_range_are_no_ops() {
+        let csr = CsrMatrix::from_rows(3, std::iter::empty());
+        assert_eq!(csr.rows(), 0);
+        assert_eq!(csr.nnz(), 0);
+        let rows = sample_rows();
+        let csr = CsrMatrix::from_rows(5, rows.iter());
+        let theta = Matrix::zeros(5, 2);
+        let mut out: Vec<f64> = Vec::new();
+        csr.accumulate_scores_range(&theta, 1..1, &mut out);
+        let mut grad = Matrix::zeros(5, 2);
+        csr.scatter_gradient_range(&[], 1..1, &mut grad);
+        assert_eq!(grad, Matrix::zeros(5, 2));
+    }
+}

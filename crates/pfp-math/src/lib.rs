@@ -13,7 +13,9 @@
 //! Modules:
 //! * [`dense`] — row-major `Matrix` and dense vector helpers.
 //! * [`sparse`] — `SparseVec`, a sorted sparse vector with f64 values, and
-//!   the two kernels (`accumulate_scores`, `scatter_gradient`) that dominate
+//!   the two per-sample kernels (`accumulate_scores`, `scatter_gradient`).
+//! * [`csr`] — `CsrMatrix`, the sample-major CSR packing of a cohort's
+//!   feature vectors with the register-blocked batched kernels that dominate
 //!   DMCP training time.
 //! * [`softmax`] — log-sum-exp, stable softmax, categorical cross-entropy.
 //! * [`stats`] — mean/variance, Pearson correlation, histograms, argmax.
@@ -38,6 +40,7 @@
 //! assert_eq!(scores, vec![2.0, 4.0]); // Θ⊤ f
 //! ```
 
+pub mod csr;
 pub mod dense;
 pub mod parallel;
 pub mod rng;
@@ -45,5 +48,6 @@ pub mod softmax;
 pub mod sparse;
 pub mod stats;
 
+pub use csr::CsrMatrix;
 pub use dense::Matrix;
 pub use sparse::SparseVec;

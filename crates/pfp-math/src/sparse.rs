@@ -115,11 +115,22 @@ impl SparseVec {
     }
 
     /// Value at `index` (zero when absent).
+    ///
+    /// A binary search over the sorted index array — `O(log nnz)`, never a
+    /// linear scan (exercised up to nnz ≈ 1000 in the unit tests).
     pub fn get(&self, index: u32) -> f64 {
         match self.indices.binary_search(&index) {
             Ok(pos) => self.values[pos],
             Err(_) => 0.0,
         }
+    }
+
+    /// Storage position of `index`, if present — the binary-search primitive
+    /// behind [`Self::get`], exposed for callers that need the parallel-array
+    /// offset rather than the value.
+    #[inline]
+    pub fn position(&self, index: u32) -> Option<usize> {
+        self.indices.binary_search(&index).ok()
     }
 
     /// Add `value` at `index` (inserting if absent).
@@ -174,11 +185,47 @@ impl SparseVec {
     }
 
     /// `self += alpha * other`, merging index sets.
+    ///
+    /// A single two-pointer merge over both sorted index arrays — `O(n + m)`.
+    /// (The previous implementation re-ran [`Self::add`] per entry, whose
+    /// mid-array `Vec::insert` made the whole update `O(n · m)` on
+    /// disjoint index sets.)
     pub fn add_scaled(&mut self, other: &SparseVec, alpha: f64) {
         debug_assert_eq!(self.dim, other.dim);
-        for (i, v) in other.iter() {
-            self.add(i, alpha * v);
+        if other.is_empty() {
+            return;
         }
+        let mut indices = Vec::with_capacity(self.indices.len() + other.indices.len());
+        let mut values = Vec::with_capacity(indices.capacity());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.indices.len() && b < other.indices.len() {
+            match self.indices[a].cmp(&other.indices[b]) {
+                std::cmp::Ordering::Less => {
+                    indices.push(self.indices[a]);
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    indices.push(other.indices[b]);
+                    values.push(alpha * other.values[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    indices.push(self.indices[a]);
+                    values.push(self.values[a] + alpha * other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        indices.extend_from_slice(&self.indices[a..]);
+        values.extend_from_slice(&self.values[a..]);
+        for (&i, &v) in other.indices[b..].iter().zip(&other.values[b..]) {
+            indices.push(i);
+            values.push(alpha * v);
+        }
+        self.indices = indices;
+        self.values = values;
     }
 
     /// Sum of stored values.
@@ -394,5 +441,55 @@ mod tests {
         let v = SparseVec::from_pairs(5, vec![(0, 3.0), (4, 4.0)]);
         assert!((v.l2_norm() - 5.0).abs() < 1e-12);
         assert_eq!(v.sum(), 7.0);
+    }
+
+    #[test]
+    fn position_finds_stored_entries_only() {
+        let v = SparseVec::from_pairs(10, vec![(2, 1.0), (7, 2.0)]);
+        assert_eq!(v.position(2), Some(0));
+        assert_eq!(v.position(7), Some(1));
+        assert_eq!(v.position(5), None);
+    }
+
+    /// The lookup/merge helpers at realistic density: nnz ≈ 1000 entries with
+    /// every third index populated.  `get`/`position` (binary search) must
+    /// agree with the dense reference at every coordinate, and the merge-based
+    /// `add_scaled` must agree with the dense sum on interleaved index sets.
+    #[test]
+    fn helpers_agree_with_dense_reference_at_nnz_1000() {
+        let dim = 3000u32;
+        let a = SparseVec::from_pairs(
+            dim as usize,
+            (0..dim).step_by(3).map(|i| (i, 1.0 + i as f64 * 0.5)),
+        );
+        assert_eq!(a.nnz(), 1000);
+        let dense_a = a.to_dense();
+        for i in 0..dim {
+            assert_eq!(a.get(i), dense_a[i as usize], "get({i})");
+            assert_eq!(a.position(i).is_some(), dense_a[i as usize] != 0.0);
+        }
+        // Even indices: collides with `a` exactly at multiples of six, so the
+        // merge exercises the match, self-only and other-only arms together.
+        // (Values strictly positive — `from_pairs` would prune explicit
+        // zeros and skew the nnz accounting below.)
+        let b = SparseVec::from_pairs(
+            dim as usize,
+            (0..dim).step_by(2).map(|i| (i, 2.0 + i as f64 * 0.25)),
+        );
+        let mut merged = a.clone();
+        merged.add_scaled(&b, 0.5);
+        let dense_b = b.to_dense();
+        let merged_dense = merged.to_dense();
+        for i in 0..dim as usize {
+            let expected = dense_a[i] + 0.5 * dense_b[i];
+            assert!(
+                (merged_dense[i] - expected).abs() < 1e-12,
+                "add_scaled mismatch at {i}"
+            );
+        }
+        // The merge keeps the sorted-unique invariant; |a ∪ b| = 1000 + 1500
+        // minus the 500 shared multiples of six.
+        assert!(merged.indices().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(merged.nnz(), 2000);
     }
 }

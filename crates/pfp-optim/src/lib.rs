@@ -10,10 +10,16 @@
 //! same ADMM driver can be reused by the DMCP trainer, the ablation
 //! experiments and the unit tests (which use simple quadratic and logistic
 //! objectives with known solutions).
+//!
+//! The ADMM driver solves **to tolerance**: residual-based stopping with
+//! residual-balancing adaptive ρ and over-relaxation, and a
+//! Nesterov-accelerated Armijo line-search Θ-update
+//! ([`gd::minimize_matrix_accelerated`]).  The legacy fixed-schedule solver
+//! is still available via [`AdmmConfig::fixed_budget`] for baselines.
 
 pub mod admm;
 pub mod gd;
 pub mod prox;
 
-pub use admm::{AdmmConfig, AdmmResult, SmoothObjective};
-pub use gd::LearningRate;
+pub use admm::{AdaptiveRho, AdmmConfig, AdmmResult, SmoothObjective, ThetaUpdate};
+pub use gd::{AcceleratedConfig, AcceleratedState, AcceleratedStats, LearningRate};

@@ -1,0 +1,129 @@
+//! Counting regression tests for the time-to-tolerance ADMM solver: the
+//! adaptive configuration must do strictly less evaluation work than the
+//! fixed-budget schedule it replaced while reaching at least the same final
+//! objective, and the early-stop paths must never skip the per-outer trace
+//! bookkeeping.
+
+use patient_flow::core::loss::DmcpObjective;
+use patient_flow::core::{Dataset, SolverMode, TrainConfig};
+use patient_flow::ehr::{generate_cohort, CohortConfig};
+use patient_flow::math::Matrix;
+use patient_flow::optim::admm::solve_group_lasso;
+use patient_flow::optim::SmoothObjective;
+use pfp_bench::CountingObjective;
+
+fn fixture() -> (Dataset, Vec<patient_flow::core::Sample>) {
+    let cohort = generate_cohort(&CohortConfig::tiny(42));
+    let dataset = Dataset::from_cohort(&cohort);
+    let kind = dataset.default_mcp_kind();
+    let samples = dataset.featurize(kind);
+    (dataset, samples)
+}
+
+#[test]
+fn adaptive_solve_uses_strictly_fewer_fused_evaluations_while_matching_objective() {
+    let (dataset, samples) = fixture();
+    let rows = dataset.total_feature_dim();
+    let cols = dataset.num_cus + dataset.num_durations;
+    let theta0 = Matrix::zeros(rows, cols);
+
+    let run = |config: TrainConfig| {
+        let counting = CountingObjective::new(DmcpObjective::new(
+            &samples,
+            None,
+            rows,
+            dataset.num_cus,
+            dataset.num_durations,
+        ));
+        let result = solve_group_lasso(&counting, theta0.clone(), &config.admm_config());
+        let passes = counting.passes();
+        assert_eq!(
+            passes, result.evaluations,
+            "driver accounting must match observed calls"
+        );
+        (result, passes)
+    };
+
+    let (fixed, fixed_passes) = run(TrainConfig::fast().with_solver(SolverMode::FixedBudget));
+    let (adaptive, adaptive_passes) = run(TrainConfig::fast());
+
+    assert!(
+        adaptive_passes < fixed_passes,
+        "adaptive passes {adaptive_passes} must be strictly fewer than fixed {fixed_passes}"
+    );
+    // The adaptive solve must *reach* the fixed-budget objective — within
+    // 1e-6 above it; landing below it (a better optimum) is the whole point.
+    let fixed_final = *fixed.objective_trace.last().unwrap();
+    let adaptive_final = *adaptive.objective_trace.last().unwrap();
+    assert!(
+        adaptive_final <= fixed_final + 1e-6,
+        "adaptive final {adaptive_final} must match fixed final {fixed_final} within 1e-6"
+    );
+}
+
+#[test]
+fn early_stop_paths_never_skip_the_trailing_trace_evaluation() {
+    let (dataset, samples) = fixture();
+    let rows = dataset.total_feature_dim();
+    let cols = dataset.num_cus + dataset.num_durations;
+
+    // A well-regularised problem (γ big enough that the optimum is near) with
+    // loose residual tolerances: the solver must stop well before the cap.
+    // (At the paper's tiny γ the cross-entropy optimum drifts far out and the
+    // dual residual decays slowly, so the cap is what usually fires there.)
+    let mut config = TrainConfig::fast().with_gamma(0.05);
+    config.tolerance = 0.5;
+    config.max_outer_iters = 100;
+    let objective =
+        DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations);
+    let result = solve_group_lasso(&objective, Matrix::zeros(rows, cols), &config.admm_config());
+
+    assert!(
+        result.converged,
+        "fixture must exercise the early-stop path"
+    );
+    assert!(
+        result.outer_iterations < 100,
+        "stopped at {} outers",
+        result.outer_iterations
+    );
+    assert_eq!(
+        result.objective_trace.len(),
+        result.outer_iterations + 1,
+        "every outer iteration (early-stopped ones included) must extend the trace"
+    );
+    // The carried trace entry is exactly what a fresh evaluation at the final
+    // iterate yields: the smooth value rides along with the last fused
+    // evaluation instead of being skipped on early exits.
+    let fresh = objective.value(&result.theta) + config.gamma * result.x.l12_norm();
+    let last = *result.objective_trace.last().unwrap();
+    assert!(
+        (last - fresh).abs() <= 1e-12,
+        "carried trace value {last} must match fresh evaluation {fresh}"
+    );
+}
+
+#[test]
+fn fixed_budget_mode_reproduces_the_legacy_call_pattern() {
+    let (dataset, samples) = fixture();
+    let rows = dataset.total_feature_dim();
+    let cols = dataset.num_cus + dataset.num_durations;
+
+    let mut config = TrainConfig::fast().with_solver(SolverMode::FixedBudget);
+    config.tolerance = 0.0; // exact counts: no early stopping anywhere
+    let counting = CountingObjective::new(DmcpObjective::new(
+        &samples,
+        None,
+        rows,
+        dataset.num_cus,
+        dataset.num_durations,
+    ));
+    let result = solve_group_lasso(&counting, Matrix::zeros(rows, cols), &config.admm_config());
+
+    let outers = config.max_outer_iters;
+    let inners = config.max_inner_iters;
+    assert_eq!(result.outer_iterations, outers);
+    assert_eq!(counting.fused_calls(), outers + 1);
+    assert_eq!(counting.gradient_calls(), outers * (inners - 1));
+    assert_eq!(counting.value_calls(), 0);
+}

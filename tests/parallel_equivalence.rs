@@ -8,6 +8,12 @@
 //! separate serial `value` + `gradient` calls bitwise**, because it performs
 //! the identical floating-point operations in the identical order and merely
 //! skips the duplicated score pass.
+//!
+//! The fused path is batched over the cohort's CSR packing
+//! (`pfp_math::CsrMatrix`); the same bitwise clause binds it to the
+//! per-sample `SparseVec` walk (`value_and_gradient_unbatched`), because the
+//! batched kernels visit the same nonzeros in the same order and only change
+//! the memory layout.
 
 use proptest::prelude::*;
 
@@ -125,6 +131,54 @@ proptest! {
         // Bitwise: same floating-point ops in the same order.
         prop_assert_eq!(grad_fused, grad_sep);
         prop_assert_eq!(value_fused.to_bits(), value_sep.to_bits());
+    }
+
+    /// The batched CSR kernel matches the per-sample fused walk **bitwise**
+    /// in serial, with and without per-sample weights.
+    #[test]
+    fn batched_csr_matches_per_sample_kernel_bitwise(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 1..40),
+        weighted in 0i64..2,
+    ) {
+        let samples = build_samples(&raw);
+        let weights: Vec<f64> = (0..samples.len()).map(|i| 0.3 + 0.4 * (i % 5) as f64).collect();
+        let weights = if weighted == 1 { Some(&weights[..]) } else { None };
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.06 * (r as f64) - 0.02 * (c as f64));
+
+        let obj = DmcpObjective::new(&samples, weights, DIM, NUM_CUS, NUM_DURATIONS);
+        let mut grad_batched = Matrix::zeros(DIM, cols);
+        let value_batched = obj.value_and_gradient(&theta, &mut grad_batched);
+        let mut grad_unbatched = Matrix::zeros(DIM, cols);
+        let value_unbatched = obj.value_and_gradient_unbatched(&theta, &mut grad_unbatched);
+
+        prop_assert_eq!(grad_batched, grad_unbatched);
+        prop_assert_eq!(value_batched.to_bits(), value_unbatched.to_bits());
+    }
+
+    /// The pooled batched kernel matches the serial per-sample walk to
+    /// ≤ 1e-12 at every thread count (sharding changes the reduction order,
+    /// so bitwise does not apply across thread counts).
+    #[test]
+    fn batched_pooled_matches_per_sample_serial_at_any_thread_count(
+        raw in proptest::collection::vec((0i64..DIM as i64, 0.1f64..2.0, 0i64..16, 0i64..16), 1..40),
+        threads in 2i64..10,
+    ) {
+        let samples = build_samples(&raw);
+        let cols = NUM_CUS + NUM_DURATIONS;
+        let theta = Matrix::from_fn(DIM, cols, |r, c| 0.07 * (r as f64) - 0.01 * (c as f64));
+
+        let serial = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS);
+        let mut grad_serial = Matrix::zeros(DIM, cols);
+        let value_serial = serial.value_and_gradient_unbatched(&theta, &mut grad_serial);
+
+        let pooled = DmcpObjective::new(&samples, None, DIM, NUM_CUS, NUM_DURATIONS)
+            .with_threads(threads as usize);
+        let mut grad_pooled = Matrix::zeros(DIM, cols);
+        let value_pooled = pooled.value_and_gradient(&theta, &mut grad_pooled);
+
+        prop_assert!(grad_pooled.sub(&grad_serial).max_abs() <= 1e-12);
+        prop_assert!((value_pooled - value_serial).abs() <= 1e-12);
     }
 
     /// Fused pooled evaluation matches fused serial to ≤ 1e-12 at every
