@@ -2,7 +2,7 @@
 //! feature-selection introspection.
 
 use pfp_math::softmax::{argmax, softmax};
-use pfp_math::{Matrix, SparseVec};
+use pfp_math::{CsrMatrix, Matrix, SparseVec};
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
@@ -74,6 +74,47 @@ impl DmcpModel {
     pub fn probabilities(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>) {
         let (cu, dur) = self.scores(features);
         (softmax(&cu), softmax(&dur))
+    }
+
+    /// Raw linear scores for a prebuilt CSR block of `k` featurized samples,
+    /// written row-major into `out` (`k × (C + D)`, request `i` at
+    /// `out[i*(C+D)..(i+1)*(C+D)]`).
+    ///
+    /// One register-blocked pass over the block performs the same
+    /// floating-point operations in the same order as `k` independent
+    /// [`DmcpModel::scores`] calls, so the results are bitwise identical to
+    /// the per-sample walk.  A 0-row block leaves `out` empty; a 1-row block
+    /// degenerates to a single per-sample scoring.
+    pub fn scores_block_into(&self, block: &CsrMatrix, out: &mut Vec<f64>) {
+        assert_eq!(
+            block.dim(),
+            self.num_features(),
+            "feature dimension mismatch"
+        );
+        let width = self.num_cus + self.num_durations;
+        let k = block.rows();
+        out.clear();
+        out.resize(k * width, 0.0);
+        block.accumulate_scores_range(&self.theta, 0..k, out);
+    }
+
+    /// Conditional class probabilities for every row of a prebuilt CSR block:
+    /// one `(p(c|·), p(d|·))` pair per sample, in block-row order.
+    ///
+    /// Bitwise identical to calling [`DmcpModel::probabilities`] on each row
+    /// independently (the batched scoring pass is exact, and softmax is
+    /// applied per row).
+    pub fn probabilities_block(&self, block: &CsrMatrix) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let width = self.num_cus + self.num_durations;
+        let mut scores = Vec::new();
+        self.scores_block_into(block, &mut scores);
+        scores
+            .chunks_exact(width)
+            .map(|row| {
+                let (cu, dur) = row.split_at(self.num_cus);
+                (softmax(cu), softmax(dur))
+            })
+            .collect()
     }
 
     /// MAP prediction `(ĉ, d̂)` for an already-featurized sample.
@@ -230,5 +271,64 @@ mod tests {
     fn scores_reject_wrong_dimension() {
         let m = tiny_model();
         let _ = m.scores(&SparseVec::binary(3, vec![0]));
+    }
+
+    #[test]
+    fn zero_row_block_scores_to_nothing() {
+        let m = tiny_model();
+        let block = CsrMatrix::with_dim(4);
+        let mut out = vec![99.0; 7]; // stale garbage must be cleared
+        m.scores_block_into(&block, &mut out);
+        assert!(out.is_empty());
+        assert!(m.probabilities_block(&block).is_empty());
+    }
+
+    #[test]
+    fn one_row_block_matches_the_per_sample_walk_bitwise() {
+        let m = tiny_model();
+        let f = SparseVec::from_pairs(4, vec![(0, 1.5), (2, -0.25), (3, 0.5)]);
+        let block = CsrMatrix::from_rows(4, [&f]);
+        let mut out = Vec::new();
+        m.scores_block_into(&block, &mut out);
+        let (cu, dur) = m.scores(&f);
+        let walk: Vec<f64> = cu.iter().chain(dur.iter()).copied().collect();
+        assert_eq!(out.len(), walk.len());
+        for (b, w) in out.iter().zip(walk.iter()) {
+            assert_eq!(b.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_row_block_probabilities_match_per_sample_bitwise() {
+        let m = tiny_model();
+        let samples = [
+            SparseVec::binary(4, vec![0]),
+            SparseVec::from_pairs(4, vec![(1, 0.75), (2, 2.0)]),
+            SparseVec::binary(4, vec![]),
+            SparseVec::from_pairs(4, vec![(0, -1.0), (1, 0.5), (2, 0.25), (3, 3.0)]),
+        ];
+        let block = CsrMatrix::from_rows(4, samples.iter());
+        let batched = m.probabilities_block(&block);
+        assert_eq!(batched.len(), samples.len());
+        for (f, (bc, bd)) in samples.iter().zip(batched.iter()) {
+            let (pc, pd) = m.probabilities(f);
+            assert_eq!(pc.len(), bc.len());
+            assert_eq!(pd.len(), bd.len());
+            for (a, b) in pc.iter().zip(bc.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in pd.iter().zip(bd.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn block_scoring_rejects_wrong_dimension() {
+        let m = tiny_model();
+        let block = CsrMatrix::with_dim(3);
+        let mut out = Vec::new();
+        m.scores_block_into(&block, &mut out);
     }
 }

@@ -37,7 +37,7 @@ use crate::sparse::SparseVec;
 /// csr.accumulate_scores_range(&theta, 0..2, &mut scores);
 /// assert_eq!(scores, vec![11.0, 14.0, -3.0, -4.0]); // [Θ⊤f_0, Θ⊤f_1]
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CsrMatrix {
     dim: usize,
     indptr: Vec<usize>,
@@ -45,7 +45,55 @@ pub struct CsrMatrix {
     values: Vec<f64>,
 }
 
+impl Default for CsrMatrix {
+    /// An empty 0-row, 0-column matrix.  (A derived `Default` would leave
+    /// `indptr` empty, making `rows()` underflow on a defaulted value.)
+    fn default() -> Self {
+        Self::with_dim(0)
+    }
+}
+
 impl CsrMatrix {
+    /// An empty matrix over `dim` feature columns with zero rows, ready for
+    /// incremental [`push_row`](Self::push_row) construction.
+    ///
+    /// This is the serve-path micro-batcher's entry point: one buffer is
+    /// created per service, each flush packs its batch via `push_row`, and
+    /// [`clear_rows`](Self::clear_rows) resets it without dropping capacity.
+    /// A matrix that never receives a row (a timer flush racing with zero
+    /// accumulated requests) is valid: `rows() == 0` and the range kernels
+    /// are no-ops on it.
+    pub fn with_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Append one sparse row (batch-of-k construction).
+    ///
+    /// Equivalent to having included the row in [`from_rows`](Self::from_rows):
+    /// the stored layout, and therefore every kernel result, is identical.
+    ///
+    /// # Panics
+    /// Panics if the row's dimensionality differs from this matrix's `dim`.
+    pub fn push_row(&mut self, row: &SparseVec) {
+        assert_eq!(row.dim(), self.dim, "row dimensionality mismatch");
+        self.indices.extend_from_slice(row.indices());
+        self.values.extend_from_slice(row.values());
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Drop all rows, keeping `dim` and the allocated capacity, so one buffer
+    /// can be reused across micro-batch flushes without per-batch allocation.
+    pub fn clear_rows(&mut self) {
+        self.indptr.truncate(1);
+        self.indices.clear();
+        self.values.clear();
+    }
+
     /// Pack sparse rows (each of dimensionality `dim`) into CSR form.
     ///
     /// # Panics
@@ -69,9 +117,12 @@ impl CsrMatrix {
     }
 
     /// Number of rows (samples).
+    ///
+    /// Robust to a deserialized value with an empty `indptr` (reported as
+    /// zero rows rather than underflowing).
     #[inline]
     pub fn rows(&self) -> usize {
-        self.indptr.len() - 1
+        self.indptr.len().saturating_sub(1)
     }
 
     /// Number of feature columns.
@@ -259,6 +310,71 @@ mod tests {
         csr.accumulate_scores_range(&theta, 0..2, &mut split[..2 * cols]);
         csr.accumulate_scores_range(&theta, 2..4, &mut split[2 * cols..]);
         assert_eq!(full, split);
+    }
+
+    #[test]
+    fn incremental_push_row_matches_from_rows_exactly() {
+        let rows = sample_rows();
+        let packed = CsrMatrix::from_rows(5, rows.iter());
+        let mut incremental = CsrMatrix::with_dim(5);
+        for r in &rows {
+            incremental.push_row(r);
+        }
+        assert_eq!(incremental, packed);
+        // Clearing and repacking reuses the buffer and lands on the same
+        // layout — the serve batcher's per-flush cycle.
+        incremental.clear_rows();
+        assert_eq!(incremental.rows(), 0);
+        assert_eq!(incremental.nnz(), 0);
+        assert_eq!(incremental.dim(), 5);
+        for r in &rows {
+            incremental.push_row(r);
+        }
+        assert_eq!(incremental, packed);
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimensionality mismatch")]
+    fn push_row_rejects_mismatched_dim() {
+        let mut m = CsrMatrix::with_dim(5);
+        m.push_row(&SparseVec::new(3));
+    }
+
+    /// The micro-batcher edge cases: a zero-request flush and a batch of one
+    /// must not panic or divide by zero, and must score exactly like the
+    /// per-sample walk.
+    #[test]
+    fn zero_row_and_one_row_batches_score_like_the_per_sample_walk() {
+        let theta = Matrix::from_fn(5, 4, |r, c| 0.3 * (r as f64) - 0.11 * (c as f64));
+
+        // 0-row batch: all kernels are no-ops on the empty row range.
+        let empty = CsrMatrix::with_dim(5);
+        assert_eq!(empty.rows(), 0);
+        let mut out: Vec<f64> = Vec::new();
+        empty.accumulate_scores_range(&theta, 0..0, &mut out);
+        assert!(out.is_empty());
+        let mut grad = Matrix::zeros(5, 4);
+        empty.scatter_gradient_range(&[], 0..0, &mut grad);
+        assert_eq!(grad, Matrix::zeros(5, 4));
+
+        // 1-row batch: bitwise identical to the single SparseVec kernel.
+        let row = SparseVec::from_pairs(5, vec![(1, 0.5), (4, -2.0)]);
+        let mut single = CsrMatrix::with_dim(5);
+        single.push_row(&row);
+        assert_eq!(single.rows(), 1);
+        let mut batched = vec![0.0; 4];
+        single.accumulate_scores_range(&theta, 0..1, &mut batched);
+        let mut expected = vec![0.0; 4];
+        row.accumulate_scores(&theta, &mut expected);
+        for (b, e) in batched.iter().zip(&expected) {
+            assert_eq!(b.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn default_is_a_valid_empty_matrix() {
+        let m = CsrMatrix::default();
+        assert_eq!((m.rows(), m.dim(), m.nnz()), (0, 0, 0));
     }
 
     #[test]

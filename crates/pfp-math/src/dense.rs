@@ -167,9 +167,43 @@ impl Matrix {
         }
     }
 
+    /// Overwrite `self` with the contents of `src` (no allocation).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "shape mismatch in copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Frobenius norm `sqrt(Σ a_ij²)`.
     pub fn frobenius_norm(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `‖self − other‖_F` without materialising the difference.
+    ///
+    /// Bitwise equal to `self.sub(other).frobenius_norm()` — the elementwise
+    /// subtractions, squarings, and the summation order are identical — but
+    /// allocation-free, for the ADMM driver's per-outer residuals.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn diff_frobenius_norm(&self, other: &Matrix) -> f64 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in diff_frobenius_norm"
+        );
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Squared Frobenius norm.
@@ -379,6 +413,32 @@ mod tests {
         let m = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
         assert!((m.frobenius_norm_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_frobenius_norm_is_bitwise_the_allocating_path() {
+        let a = Matrix::from_fn(3, 4, |r, c| 0.7 * (r as f64) - 1.3 * (c as f64) + 0.01);
+        let b = Matrix::from_fn(3, 4, |r, c| -0.2 * (r as f64) + 0.4 * (c as f64 + 1.0));
+        let fused = a.diff_frobenius_norm(&b);
+        let allocating = a.sub(&b).frobenius_norm();
+        assert_eq!(fused.to_bits(), allocating.to_bits());
+        assert_eq!(a.diff_frobenius_norm(&a), 0.0);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let src = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let mut dst = Matrix::from_fn(2, 3, |_, _| -1.0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch in copy_from")]
+    fn copy_from_rejects_shape_mismatch() {
+        let src = Matrix::zeros(2, 2);
+        let mut dst = Matrix::zeros(2, 3);
+        dst.copy_from(&src);
     }
 
     #[test]

@@ -50,4 +50,5 @@ pub mod stats;
 
 pub use csr::CsrMatrix;
 pub use dense::Matrix;
+pub use parallel::{PoolError, WorkerPool};
 pub use sparse::SparseVec;

@@ -85,6 +85,42 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
 /// A boxed unit of work executed by a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Why a pooled fork-join failed as a whole.
+///
+/// Distinct from a *task* panic: a panicking task is a caller bug and is
+/// re-raised on the calling thread ([`WorkerPool::try_run`] contains it with
+/// `catch_unwind`, so the worker survives).  A `PoolError` means the pool
+/// itself lost capacity — worker threads died at the dispatch level — and the
+/// submitted tasks can no longer all be served.  Long-lived callers (the
+/// serve path) turn this into per-request errors instead of a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The job channel is closed: every worker thread has exited, so no task
+    /// submitted to this pool can run again.
+    ShutDown,
+    /// `missing` submitted tasks were accepted onto the job queue but
+    /// destroyed unrun (their worker died before or while holding them), so
+    /// their results never arrived.
+    WorkerLost {
+        /// Number of submitted tasks that never reported a result.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ShutDown => write!(f, "worker pool has shut down (all workers exited)"),
+            PoolError::WorkerLost { missing } => write!(
+                f,
+                "worker pool lost {missing} task result(s) (worker thread died)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// A persistent pool of worker threads for repeated fork-join evaluations.
 ///
 /// The sharded DMCP objective evaluates thousands of loss/gradient passes per
@@ -155,30 +191,87 @@ impl WorkerPool {
         }
     }
 
-    /// Number of live worker threads (`0` for a serial pool).
+    /// Number of worker threads this pool was built with (`0` for a serial
+    /// pool).  Workers that died since (see [`live_workers`](Self::live_workers))
+    /// are still counted — this is the configured width, used e.g. to shard
+    /// work into one chunk per worker.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of worker threads that are still running.  Strictly less than
+    /// [`workers`](Self::workers) once a worker has died (e.g. via
+    /// [`inject_worker_failure`](Self::inject_worker_failure)); `0` for a
+    /// serial pool or a fully dead one.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_finished()).count()
+    }
+
+    /// Fault injection: kill one parked worker thread by handing it a job
+    /// that panics at the worker-loop level — *outside* the `catch_unwind`
+    /// wrapper [`try_run`](Self::try_run) places around caller tasks — so the
+    /// worker unwinds and exits.  Once every worker has died the shared job
+    /// receiver is dropped and subsequent runs report [`PoolError`].
+    ///
+    /// Used by the kill-a-worker regression tests and the serve-path
+    /// resilience harness.  Returns `false` on a serial pool (no workers to
+    /// kill) or when the pool is already fully shut down.
+    pub fn inject_worker_failure(&self) -> bool {
+        let Some(job_tx) = &self.job_tx else {
+            return false;
+        };
+        job_tx
+            .send(Box::new(|| {
+                panic!("injected worker failure (fault injection)")
+            }))
+            .is_ok()
     }
 
     /// Execute `tasks` and return their results **in submission order**,
     /// blocking until all have finished.
     ///
-    /// Tasks may borrow data from the caller's stack (the `'env` lifetime):
-    /// the call does not return — normally or by panic — until every task has
-    /// run to completion, so no job can outlive what it borrows.
+    /// Exactly [`try_run`](Self::try_run), with pool failures converted into
+    /// a panic: the solver-side callers (the sharded DMCP objective) have no
+    /// channel to surface a `PoolError` through and a dead pool mid-solve is
+    /// unrecoverable for them anyway.  Long-lived callers that must survive
+    /// worker loss (the serve path) call `try_run` instead.
     ///
     /// # Panics
     /// If a task panics on a pooled run, the panic is re-raised on the
     /// calling thread *after* all remaining tasks have completed (workers
     /// survive task panics).  On the workerless serial pool tasks run inline,
     /// so a panic propagates immediately and later tasks never start.
+    /// Additionally panics if the pool itself has failed (`PoolError`).
     pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send + 'env,
         F: FnOnce() -> T + Send + 'env,
     {
+        match self.try_run(tasks) {
+            Ok(results) => results,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Execute `tasks` and return their results **in submission order**,
+    /// blocking until all have finished; pool failures come back as a typed
+    /// [`PoolError`] instead of a panic.
+    ///
+    /// Tasks may borrow data from the caller's stack (the `'env` lifetime):
+    /// the call does not return — normally, by panic, or with an error —
+    /// until every submitted task has either run to completion or been
+    /// destroyed unrun, so no job can outlive what it borrows.
+    ///
+    /// Task panics are still re-raised on the calling thread (a panicking
+    /// task is a caller bug, not a pool failure), taking precedence over any
+    /// concurrent `PoolError`.
+    pub fn try_run<'env, T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
         let Some(job_tx) = &self.job_tx else {
-            return tasks.into_iter().map(|task| task()).collect();
+            return Ok(tasks.into_iter().map(|task| task()).collect());
         };
         let n = tasks.len();
         let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
@@ -201,11 +294,11 @@ impl WorkerPool {
             // workers accept short-lived borrows.
             let job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
             if job_tx.send(job).is_err() {
-                // Unreachable while the worker loop keeps the receiver alive
-                // for the pool's whole lifetime, but if a future change lets
-                // workers exit early we must not unwind here: jobs already
-                // submitted still borrow `'env` data, so fall through and
-                // drain them first, then report the failure.
+                // The job channel is closed: every worker has exited (e.g.
+                // after injected failures).  We must not unwind here — jobs
+                // already submitted still borrow `'env` data, so fall through
+                // and drain them first, then report the failure as a typed
+                // error.
                 pool_down = true;
                 break;
             }
@@ -221,16 +314,27 @@ impl WorkerPool {
                 Err(_) => break,
             }
         }
-        assert!(!pool_down, "worker pool has shut down");
-        slots
-            .into_iter()
-            .map(
-                |result| match result.expect("worker pool lost a task result") {
-                    Ok(value) => value,
-                    Err(payload) => resume_unwind(payload),
-                },
-            )
-            .collect()
+        // Collect in submission order.  A task panic is re-raised with
+        // priority (it is the likeliest root cause and must not be silently
+        // swallowed); missing results — a worker died holding the job, or the
+        // job was destroyed unrun when the queue dropped — become a typed
+        // pool error instead of the old `expect` panic.
+        let mut values = Vec::with_capacity(n);
+        let mut missing = 0usize;
+        for result in slots {
+            match result {
+                Some(Ok(value)) => values.push(value),
+                Some(Err(payload)) => resume_unwind(payload),
+                None => missing += 1,
+            }
+        }
+        if pool_down {
+            return Err(PoolError::ShutDown);
+        }
+        if missing > 0 {
+            return Err(PoolError::WorkerLost { missing });
+        }
+        Ok(values)
     }
 }
 
@@ -421,6 +525,92 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out = pool.run((0..64).map(|i| move || i).collect());
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    /// Spin until the pool has at most `want` live workers (the injected
+    /// poison job is executed asynchronously by whichever worker dequeues it).
+    fn wait_for_live_workers(pool: &WorkerPool, want: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while pool.live_workers() > want {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers never exited (live = {})",
+                pool.live_workers()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn killing_every_worker_degrades_to_a_typed_error_not_a_panic() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.live_workers(), 2);
+        assert!(pool.inject_worker_failure());
+        assert!(pool.inject_worker_failure());
+        wait_for_live_workers(&pool, 0);
+        // The job channel's receiver is gone: the run must fail with a typed
+        // error (the old code panicked with "worker pool has shut down").
+        let result = pool.try_run((0..4).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(result, Err(PoolError::ShutDown));
+        // The panicking wrapper reports the same condition as a clean panic
+        // message, not a raw `expect` failure.
+        let panic = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run((0..4).map(|i| move || i).collect::<Vec<_>>());
+        }));
+        assert!(panic.is_err(), "run() must panic on a dead pool");
+    }
+
+    #[test]
+    fn killing_one_worker_leaves_the_pool_functional() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.inject_worker_failure());
+        wait_for_live_workers(&pool, 3);
+        // The surviving workers keep serving fork-joins, in order.
+        for round in 0..20 {
+            let out = pool
+                .try_run((0..8).map(|i| move || i + round).collect::<Vec<_>>())
+                .expect("pool with live workers must keep serving");
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.live_workers(), 3);
+    }
+
+    #[test]
+    fn worker_death_racing_a_run_reports_a_pool_error() {
+        // Poison the only-just-alive pool and immediately submit work: the
+        // poison job sits ahead of the tasks in the FIFO job queue, so the
+        // tasks are either destroyed unrun (WorkerLost) or never accepted
+        // (ShutDown), depending on how fast the workers die.  Either way the
+        // caller sees a typed error, never a panic or a hang.
+        for _ in 0..10 {
+            let pool = WorkerPool::new(2);
+            assert!(pool.inject_worker_failure());
+            assert!(pool.inject_worker_failure());
+            match pool.try_run((0..16).map(|i| move || i).collect::<Vec<_>>()) {
+                Err(PoolError::ShutDown) | Err(PoolError::WorkerLost { .. }) => {}
+                Ok(_) => panic!("all workers were poisoned before submission"),
+            }
+        }
+    }
+
+    #[test]
+    fn injecting_into_a_serial_pool_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        assert!(!pool.inject_worker_failure());
+        assert_eq!(pool.live_workers(), 0);
+        assert_eq!(
+            pool.try_run(vec![|| 1, || 2])
+                .expect("serial pool never fails"),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn pool_error_messages_are_descriptive() {
+        assert!(PoolError::ShutDown.to_string().contains("shut down"));
+        assert!(PoolError::WorkerLost { missing: 3 }
+            .to_string()
+            .contains("lost 3 task result"));
     }
 
     #[test]

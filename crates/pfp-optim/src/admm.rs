@@ -41,8 +41,11 @@
 use pfp_math::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::gd::{minimize_matrix_accelerated, AcceleratedConfig, AcceleratedState, LearningRate};
-use crate::prox::prox_group_lasso;
+use crate::gd::{
+    minimize_matrix_accelerated, AcceleratedConfig, AcceleratedState, AcceleratedWorkspace,
+    LearningRate,
+};
+use crate::prox::prox_group_lasso_in_place;
 
 /// A smooth (differentiable) objective over a parameter matrix.
 ///
@@ -274,6 +277,42 @@ fn caps_for_rho(curvature: &[f64], rho: f64) -> Vec<f64> {
     curvature.iter().map(|l| 1.0 / (l + rho)).collect()
 }
 
+/// Per-solve scratch of [`solve_group_lasso`]: every buffer the outer loop
+/// reuses, allocated once at solve entry instead of cloned anew every outer
+/// iteration (the old per-outer `clone()` churn shows up as latency jitter
+/// when solves run under sustained serve load).  Buffers are overwritten
+/// before every read, so reuse never changes a trajectory.
+struct SolveWorkspace {
+    /// Θ at the start of the outer iteration (legacy relative-change stop).
+    theta_prev_outer: Matrix,
+    /// Over-relaxed point `Θ̂ = αΘ + (1−α)X`.
+    theta_hat: Matrix,
+    /// X before the current X-update (dual residual).
+    x_prev: Matrix,
+    /// `∇φ` at the Θ-update entry point (smooth gradient + augmented term).
+    g_phi0: Matrix,
+    /// Smooth-gradient stash of the accelerated carry (see the eval closure).
+    smooth_grad_stash: Matrix,
+    /// Previous inner iterate of the legacy fixed-step Θ-update.
+    inner_prev: Matrix,
+    /// The accelerated Θ-update solver's six scratch matrices.
+    accel: AcceleratedWorkspace,
+}
+
+impl SolveWorkspace {
+    fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            theta_prev_outer: Matrix::zeros(rows, cols),
+            theta_hat: Matrix::zeros(rows, cols),
+            x_prev: Matrix::zeros(rows, cols),
+            g_phi0: Matrix::zeros(rows, cols),
+            smooth_grad_stash: Matrix::zeros(rows, cols),
+            inner_prev: Matrix::zeros(rows, cols),
+            accel: AcceleratedWorkspace::new(rows, cols),
+        }
+    }
+}
+
 /// Run ADMM with group-lasso regularisation starting from `theta0`.
 pub fn solve_group_lasso<O: SmoothObjective>(
     objective: &O,
@@ -324,10 +363,10 @@ pub fn solve_group_lasso<O: SmoothObjective>(
     let mut inner_total = 0usize;
     let mut primal_residual = f64::INFINITY;
     let mut dual_residual = f64::INFINITY;
-    let mut theta_hat = Matrix::zeros(rows, cols);
+    let mut ws = SolveWorkspace::new(rows, cols);
 
     for _outer in 0..config.max_outer_iters {
-        let theta_prev_outer = theta.clone();
+        ws.theta_prev_outer.copy_from(&theta);
         let mut outer_evals = 0usize;
 
         // --- Θ-update: minimise L(Θ) + (ρ/2)‖Θ − X + Y‖²_F ---
@@ -337,7 +376,7 @@ pub fn solve_group_lasso<O: SmoothObjective>(
                 // carried fused evaluation (Θ is untouched by the X/Y
                 // updates); later steps pay one separate gradient pass each.
                 let mut grad_is_current = true;
-                let mut inner_prev = theta.clone();
+                ws.inner_prev.copy_from(&theta);
                 for inner in 0..config.max_inner_iters {
                     if !grad_is_current {
                         objective.gradient(&theta, &mut grad);
@@ -356,34 +395,34 @@ pub fn solve_group_lasso<O: SmoothObjective>(
                         }
                     }
                     inner_total += 1;
-                    let rel = theta.relative_change(&inner_prev);
+                    let rel = theta.relative_change(&ws.inner_prev);
                     if rel < config.tolerance {
                         break;
                     }
-                    inner_prev = theta.clone();
+                    ws.inner_prev.copy_from(&theta);
                 }
             }
             ThetaUpdate::Accelerated { config: acc } => {
                 // Build φ/∇φ at the entry point from the carried smooth value
                 // and gradient plus a fresh (cheap, dense) penalty term.
                 let phi0 = smooth_value + augmented_value(rho, &theta, &x, &y);
-                let mut g_phi0 = grad.clone();
-                add_augmented_gradient(&mut g_phi0, rho, &theta, &x, &y);
+                ws.g_phi0.copy_from(&grad);
+                add_augmented_gradient(&mut ws.g_phi0, rho, &theta, &x, &y);
 
                 // The eval closure stashes the smooth half of every fused
                 // evaluation so the final one can be carried into the trace
                 // and the next outer iteration without re-evaluating.
                 let mut carried_smooth = smooth_value;
-                let mut smooth_grad_stash = grad.clone();
+                ws.smooth_grad_stash.copy_from(&grad);
                 let stats = {
                     let x_ref = &x;
                     let y_ref = &y;
                     let carried = &mut carried_smooth;
-                    let stash = &mut smooth_grad_stash;
+                    let stash = &mut ws.smooth_grad_stash;
                     minimize_matrix_accelerated(
                         &mut theta,
                         phi0,
-                        &g_phi0,
+                        &ws.g_phi0,
                         |point, g_out| {
                             let s = objective.value_and_gradient(point, g_out);
                             *carried = s;
@@ -394,6 +433,7 @@ pub fn solve_group_lasso<O: SmoothObjective>(
                         caps.as_deref(),
                         config.max_inner_iters,
                         &mut ls_state,
+                        &mut ws.accel,
                         acc,
                     )
                 };
@@ -402,7 +442,7 @@ pub fn solve_group_lasso<O: SmoothObjective>(
                 if stats.evaluations > 0 {
                     if stats.last_eval_at_result {
                         smooth_value = carried_smooth;
-                        std::mem::swap(&mut grad, &mut smooth_grad_stash);
+                        std::mem::swap(&mut grad, &mut ws.smooth_grad_stash);
                     } else {
                         // Rare: the line search bailed with its last
                         // evaluation at a rejected trial — restore the carry
@@ -419,9 +459,10 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         // --- X-update: group soft-threshold of the over-relaxed point ---
         let alpha = config.over_relaxation;
         if alpha == 1.0 {
-            theta_hat.as_mut_slice().copy_from_slice(theta.as_slice());
+            ws.theta_hat.copy_from(&theta);
         } else {
-            for ((h, &t), &xp) in theta_hat
+            for ((h, &t), &xp) in ws
+                .theta_hat
                 .as_mut_slice()
                 .iter_mut()
                 .zip(theta.as_slice())
@@ -430,17 +471,35 @@ pub fn solve_group_lasso<O: SmoothObjective>(
                 *h = alpha * t + (1.0 - alpha) * xp;
             }
         }
-        let x_prev = x.clone();
-        let v = theta_hat.add(&y);
-        x = prox_group_lasso(&v, config.gamma / rho);
+        // In place: save X for the dual residual, overwrite it with Θ̂ + Y,
+        // then apply the row-wise group soft-threshold — bitwise what
+        // `prox_group_lasso(&(Θ̂ + Y), τ)` returned, without the two
+        // per-outer allocations.
+        ws.x_prev.copy_from(&x);
+        for ((xv, &h), &yv) in x
+            .as_mut_slice()
+            .iter_mut()
+            .zip(ws.theta_hat.as_slice())
+            .zip(y.as_slice())
+        {
+            *xv = h + yv;
+        }
+        prox_group_lasso_in_place(&mut x, config.gamma / rho);
 
-        // --- Y-update: dual ascent on the over-relaxed residual ---
-        let relaxed_residual = theta_hat.sub(&x);
-        y.add_scaled(&relaxed_residual, 1.0);
+        // --- Y-update: dual ascent on the over-relaxed residual Θ̂ − X,
+        // accumulated without materialising the difference ---
+        for ((yv, &h), &xv) in y
+            .as_mut_slice()
+            .iter_mut()
+            .zip(ws.theta_hat.as_slice())
+            .zip(x.as_slice())
+        {
+            *yv += h - xv;
+        }
 
         // --- Residuals (unrelaxed, per Boyd §3.3) ---
-        primal_residual = theta.sub(&x).frobenius_norm();
-        dual_residual = rho * x.sub(&x_prev).frobenius_norm();
+        primal_residual = theta.diff_frobenius_norm(&x);
+        dual_residual = rho * x.diff_frobenius_norm(&ws.x_prev);
 
         // --- Trace (always extended, early-stop outers included) ---
         match &config.theta_update {
@@ -467,8 +526,8 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         let eps_dual = sqrt_n * config.eps_abs + config.eps_rel * rho * y.frobenius_norm();
         let residual_ok =
             residual_stopping && primal_residual <= eps_pri && dual_residual <= eps_dual;
-        let relchange_ok =
-            config.tolerance > 0.0 && theta.relative_change(&theta_prev_outer) < config.tolerance;
+        let relchange_ok = config.tolerance > 0.0
+            && theta.relative_change(&ws.theta_prev_outer) < config.tolerance;
         if residual_ok || relchange_ok {
             converged = true;
             break;

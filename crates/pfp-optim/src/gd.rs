@@ -161,6 +161,50 @@ impl AcceleratedState {
     }
 }
 
+/// Per-solve scratch buffers of [`minimize_matrix_accelerated`]: the six
+/// working matrices the solver needs (current gradient, previous iterate,
+/// extrapolated point + its gradient, trial point + its gradient).
+///
+/// Allocated once per ADMM solve and reused across every outer iteration's
+/// Θ-update, instead of six fresh heap allocations per call — under sustained
+/// serve load that churn shows up as latency jitter.  Contents are
+/// re-initialised on entry, so nothing leaks between calls; the only
+/// requirement is a matching shape.
+#[derive(Debug, Clone)]
+pub struct AcceleratedWorkspace {
+    /// Gradient at the current iterate.
+    g: Matrix,
+    /// Previous iterate (momentum history).
+    theta_prev: Matrix,
+    /// Extrapolated point `z`.
+    z: Matrix,
+    /// Gradient at `z`.
+    g_z: Matrix,
+    /// Line-search trial point.
+    cand: Matrix,
+    /// Gradient at the trial point.
+    g_cand: Matrix,
+}
+
+impl AcceleratedWorkspace {
+    /// Allocate a workspace for `rows × cols` iterates.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            g: Matrix::zeros(rows, cols),
+            theta_prev: Matrix::zeros(rows, cols),
+            z: Matrix::zeros(rows, cols),
+            g_z: Matrix::zeros(rows, cols),
+            cand: Matrix::zeros(rows, cols),
+            g_cand: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// The iterate shape this workspace was allocated for.
+    pub fn shape(&self) -> (usize, usize) {
+        self.g.shape()
+    }
+}
+
 /// What one [`minimize_matrix_accelerated`] call did.
 #[derive(Debug, Clone, Copy)]
 pub struct AcceleratedStats {
@@ -204,6 +248,11 @@ pub struct AcceleratedStats {
 /// (`value0`, `grad0`) because the momentum term is still zero.  The
 /// gradient-norm early exit is checked at every accepted iterate.
 ///
+/// The six scratch matrices live in the caller-owned
+/// [`AcceleratedWorkspace`] so repeated solves (one per ADMM outer
+/// iteration) reuse one set of buffers; the workspace is fully
+/// re-initialised on entry, so reuse never changes the trajectory.
+///
 /// Everything is deterministic: the trajectory is a pure function of the
 /// inputs and of `eval`'s results.
 #[allow(clippy::too_many_arguments)] // a focused solver entry point: iterate, start data, eval, knobs
@@ -215,10 +264,12 @@ pub fn minimize_matrix_accelerated(
     precond: Option<&[f64]>,
     max_iters: usize,
     state: &mut AcceleratedState,
+    workspace: &mut AcceleratedWorkspace,
     config: &AcceleratedConfig,
 ) -> AcceleratedStats {
     let (rows, cols) = theta.shape();
     assert_eq!(grad0.shape(), (rows, cols), "grad0 shape mismatch");
+    assert_eq!(workspace.shape(), (rows, cols), "workspace shape mismatch");
     if let Some(p) = precond {
         assert_eq!(p.len(), rows, "preconditioner length mismatch");
     }
@@ -230,14 +281,21 @@ pub fn minimize_matrix_accelerated(
 
     let tol = config.grad_rtol * grad0.frobenius_norm();
     let mut phi = value0;
-    let mut g = grad0.clone();
     let mut t = state.step.max(f64::MIN_POSITIVE);
     let mut a = 1.0_f64;
-    let mut theta_prev = theta.clone();
-    let mut z = Matrix::zeros(rows, cols);
-    let mut g_z = Matrix::zeros(rows, cols);
-    let mut cand = Matrix::zeros(rows, cols);
-    let mut g_cand = Matrix::zeros(rows, cols);
+    // Split the workspace into per-buffer borrows.  `g` and `theta_prev` are
+    // (re-)initialised here; `z`/`g_z`/`cand`/`g_cand` are fully overwritten
+    // before every read, so stale contents from a previous solve are inert.
+    let AcceleratedWorkspace {
+        g,
+        theta_prev,
+        z,
+        g_z,
+        cand,
+        g_cand,
+    } = workspace;
+    g.copy_from(grad0);
+    theta_prev.copy_from(theta);
 
     let mut iterations = 0usize;
     let mut evaluations = 0usize;
@@ -269,7 +327,7 @@ pub fn minimize_matrix_accelerated(
                 *zi = ti + beta * (ti - pi);
             }
             evaluations += 1;
-            eval(&z, &mut g_z)
+            eval(z, g_z)
         };
 
         // Descent direction d = P ∇φ(z) and its slope ⟨∇φ(z), d⟩.
@@ -321,7 +379,7 @@ pub fn minimize_matrix_accelerated(
                 }
             }
             evaluations += 1;
-            phi_cand = eval(&cand, &mut g_cand);
+            phi_cand = eval(cand, g_cand);
             if phi_cand.is_finite() && phi_cand <= phi_z - config.armijo_c * t * slope {
                 accepted = true;
                 break;
@@ -343,9 +401,9 @@ pub fn minimize_matrix_accelerated(
         // Adaptive (function-value) restart: a non-monotone accepted step
         // means the momentum overshot — drop it for the next iteration.
         let restart = phi_cand > phi;
-        std::mem::swap(&mut theta_prev, theta);
-        std::mem::swap(theta, &mut cand);
-        std::mem::swap(&mut g, &mut g_cand);
+        std::mem::swap(theta_prev, theta);
+        std::mem::swap(theta, cand);
+        std::mem::swap(g, g_cand);
         phi = phi_cand;
         if restart {
             a = 1.0;
@@ -512,6 +570,7 @@ mod tests {
             ..AcceleratedConfig::default()
         };
         let mut state = AcceleratedState::new(&cfg);
+        let mut ws = AcceleratedWorkspace::new(4, 3);
         let mut calls = 0usize;
         let stats = minimize_matrix_accelerated(
             &mut theta,
@@ -521,6 +580,7 @@ mod tests {
             None,
             200,
             &mut state,
+            &mut ws,
             &cfg,
         );
         assert!(stats.converged, "should hit the gradient tolerance");
@@ -565,6 +625,7 @@ mod tests {
             ..AcceleratedConfig::default()
         };
         let mut state = AcceleratedState::new(&cfg);
+        let mut ws = AcceleratedWorkspace::new(rows, 2);
         let stats = minimize_matrix_accelerated(
             &mut theta,
             v0,
@@ -573,6 +634,7 @@ mod tests {
             None,
             500,
             &mut state,
+            &mut ws,
             &cfg,
         );
         assert!(stats.converged);
@@ -637,6 +699,7 @@ mod tests {
             let mut g0 = Matrix::zeros(rows, 2);
             let v0 = eval_weighted(&theta, &mut g0);
             let mut state = AcceleratedState::new(&cfg);
+            let mut ws = AcceleratedWorkspace::new(rows, 2);
             let stats = minimize_matrix_accelerated(
                 &mut theta,
                 v0,
@@ -645,6 +708,7 @@ mod tests {
                 precond,
                 500,
                 &mut state,
+                &mut ws,
                 &cfg,
             );
             (theta, stats)
@@ -668,6 +732,7 @@ mod tests {
         let g0 = Matrix::zeros(2, 2);
         let cfg = AcceleratedConfig::default();
         let mut state = AcceleratedState::new(&cfg);
+        let mut ws = AcceleratedWorkspace::new(2, 2);
         let mut calls = 0usize;
         let stats = minimize_matrix_accelerated(
             &mut theta,
@@ -677,6 +742,7 @@ mod tests {
             None,
             50,
             &mut state,
+            &mut ws,
             &cfg,
         );
         assert!(stats.converged);
@@ -694,6 +760,9 @@ mod tests {
             ..AcceleratedConfig::default()
         };
         let mut state = AcceleratedState::new(&cfg);
+        // One shared workspace across both solves — exactly how the ADMM
+        // driver reuses it across outer iterations.
+        let mut ws = AcceleratedWorkspace::new(3, 2);
         let mut calls_cold = 0usize;
         let mut theta = Matrix::zeros(3, 2);
         let (v0, g0) = quadratic_start(&target, &theta);
@@ -705,6 +774,7 @@ mod tests {
             None,
             200,
             &mut state,
+            &mut ws,
             &cfg,
         );
         // The quadratic has unit curvature: the accepted step settles near 1.
@@ -726,9 +796,44 @@ mod tests {
             None,
             200,
             &mut state,
+            &mut ws,
             &cfg,
         );
         assert!(stats.converged);
         assert!(calls_warm <= calls_cold + 2);
+    }
+
+    /// Reusing a dirty workspace must be invisible: the solver re-initialises
+    /// everything it reads, so a second identical solve from the same buffers
+    /// lands bitwise on the same iterate.
+    #[test]
+    fn workspace_reuse_does_not_change_the_trajectory() {
+        let target = Matrix::from_fn(4, 3, |r, c| 0.8 * (r as f64) - 0.3 * (c as f64) + 0.1);
+        let cfg = AcceleratedConfig {
+            grad_rtol: 1e-8,
+            ..AcceleratedConfig::default()
+        };
+        let solve = |ws: &mut AcceleratedWorkspace| {
+            let mut theta = Matrix::zeros(4, 3);
+            let (v0, g0) = quadratic_start(&target, &theta);
+            let mut state = AcceleratedState::new(&cfg);
+            let mut calls = 0usize;
+            minimize_matrix_accelerated(
+                &mut theta,
+                v0,
+                &g0,
+                quadratic_eval(&target, &mut calls),
+                None,
+                200,
+                &mut state,
+                ws,
+                &cfg,
+            );
+            theta
+        };
+        let mut ws = AcceleratedWorkspace::new(4, 3);
+        let fresh = solve(&mut ws);
+        let reused = solve(&mut ws); // buffers still hold the first solve's state
+        assert_eq!(fresh, reused);
     }
 }

@@ -1,0 +1,119 @@
+//! Micro-batch accumulation: gather channel items for at most `max_wait` or
+//! until `max_batch` items are held, whichever comes first.
+//!
+//! The batcher is deliberately a pure function over a [`Receiver`] so the
+//! flush policy can be unit-tested without threads: the dispatcher loop in
+//! [`crate::service`] is just `while let Some(batch) = collect_batch(..)`.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Collect the next micro-batch from `rx`.
+///
+/// Blocks until at least one item arrives — the batching timer only starts
+/// once the batch is non-empty, so a timer flush can never race an empty
+/// queue into a zero-item batch.  After the first item, keeps receiving until
+/// either `max_batch` items are held or `max_wait` has elapsed since the
+/// first item.
+///
+/// Returns `None` only when the channel is closed and fully drained (the
+/// shutdown signal).  If the sender disconnects mid-collection, the items
+/// already held are flushed as a final batch.  A `max_batch` of zero is
+/// treated as one: the returned batch is never empty.
+pub fn collect_batch<T>(rx: &Receiver<T>, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+    let max_batch = max_batch.max(1);
+    let first = rx.recv().ok()?;
+    let mut batch = Vec::with_capacity(max_batch.min(1024));
+    batch.push(first);
+    let deadline = Instant::now() + max_wait;
+    while batch.len() < max_batch {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(item) => batch.push(item),
+            Err(RecvTimeoutError::Timeout) => break,
+            // Flush what we hold; the *next* call returns None.
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn fills_up_to_max_batch_from_a_ready_queue() {
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let batch = collect_batch(&rx, 4, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        let batch = collect_batch(&rx, 4, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn flushes_a_partial_batch_on_timeout() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let batch = collect_batch(&rx, 64, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn closed_and_drained_channel_returns_none_never_an_empty_batch() {
+        let (tx, rx) = channel();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(
+            collect_batch(&rx, 8, Duration::from_millis(5)),
+            Some(vec![7])
+        );
+        assert_eq!(
+            collect_batch(&rx, 8, Duration::from_millis(5)),
+            None::<Vec<i32>>
+        );
+    }
+
+    #[test]
+    fn disconnect_mid_collection_flushes_held_items() {
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        // max_batch larger than what's queued: the Disconnected arm flushes.
+        let batch = collect_batch(&rx, 64, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(collect_batch(&rx, 64, Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn zero_max_batch_is_treated_as_one() {
+        let (tx, rx) = channel();
+        tx.send(42).unwrap();
+        tx.send(43).unwrap();
+        let batch = collect_batch(&rx, 0, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![42]);
+    }
+
+    #[test]
+    fn blocks_for_the_first_item_without_spinning() {
+        let (tx, rx) = channel();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(99).unwrap();
+        });
+        // max_wait is tiny, but the timer starts at the *first* item, so the
+        // late arrival is still collected rather than flushed as empty.
+        let batch = collect_batch(&rx, 8, Duration::from_micros(1)).unwrap();
+        assert_eq!(batch, vec![99]);
+        sender.join().unwrap();
+    }
+}

@@ -1,0 +1,255 @@
+//! # pfp-serve
+//!
+//! A micro-batched prediction service over a trained [`DmcpModel`]: feature
+//! vector in, per-unit transfer distribution out.
+//!
+//! ## Design
+//!
+//! No async runtime — the service is a thread-per-core + channel design on
+//! the workspace's existing [`pfp_math::WorkerPool`]:
+//!
+//! 1. **Clients** ([`ServeClient`], cheaply cloneable) send requests down a
+//!    channel and block on a per-request reply channel.
+//! 2. A single **dispatcher** thread accumulates requests for at most
+//!    `max_wait` or until `max_batch` are held
+//!    ([`batcher::collect_batch`]), packs them into one reused
+//!    [`pfp_math::CsrMatrix`], and scores the whole batch as a single
+//!    register-blocked `CSR × Θ` pass sharded over the pool.
+//! 3. Results fan back in **submission order**; micro-batching is invisible
+//!    to callers except as latency.
+//!
+//! Batched scoring performs the same floating-point operations in the same
+//! order as scoring each request alone, so the returned distributions are
+//! **bitwise identical** to [`DmcpModel::probabilities`] — batching is purely
+//! a throughput optimisation, never an accuracy trade.
+//!
+//! ## Failure semantics
+//!
+//! Errors are per-request, never process aborts: a malformed request gets
+//! [`ServeError::FeatureDim`], a scoring-worker death fails the affected
+//! batch with [`ServeError::Pool`] while the service keeps answering, and
+//! requests after shutdown get [`ServeError::ShutDown`].
+//!
+//! ## Example
+//!
+//! ```
+//! use pfp_core::{DmcpModel, FeatureMapKind};
+//! use pfp_math::{Matrix, SparseVec};
+//! use pfp_serve::{PredictionService, ServeConfig};
+//!
+//! let model = DmcpModel {
+//!     theta: Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64 * 0.1),
+//!     selection: Matrix::zeros(4, 4),
+//!     kind: FeatureMapKind::ModulatedPoisson,
+//!     profile_dim: 2,
+//!     service_dim: 2,
+//!     num_cus: 2,
+//!     num_durations: 2,
+//! };
+//! let reference = model.probabilities(&SparseVec::binary(4, vec![0, 2]));
+//!
+//! let service = PredictionService::start(model, ServeConfig::default());
+//! let client = service.client();
+//! let prediction = client.predict(SparseVec::binary(4, vec![0, 2])).unwrap();
+//! assert_eq!(prediction.cu_probs, reference.0);
+//! assert_eq!(prediction.duration_probs, reference.1);
+//! service.shutdown();
+//! ```
+
+pub mod batcher;
+pub mod service;
+
+pub use pfp_core::DmcpModel;
+pub use service::{Prediction, PredictionService, ServeClient, ServeConfig, ServeError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_core::FeatureMapKind;
+    use pfp_math::{Matrix, PoolError, SparseVec};
+    use std::time::Duration;
+
+    /// A deterministic non-trivial model: 6 features, 3 CUs, 2 durations
+    /// (theta is 6×5, exercising the generic-column kernel path).
+    fn test_model() -> DmcpModel {
+        let theta = Matrix::from_fn(6, 5, |r, c| ((r * 5 + c) as f64 * 0.37).sin());
+        DmcpModel {
+            selection: theta.clone(),
+            theta,
+            kind: FeatureMapKind::ModulatedPoisson,
+            profile_dim: 3,
+            service_dim: 3,
+            num_cus: 3,
+            num_durations: 2,
+        }
+    }
+
+    fn request(i: usize) -> SparseVec {
+        SparseVec::from_pairs(
+            6,
+            vec![
+                ((i % 6) as u32, 1.0 + i as f64 * 0.25),
+                (((i * 2 + 1) % 6) as u32, 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn batched_service_answers_match_the_model_bitwise() {
+        let model = test_model();
+        let expected: Vec<_> = (0..64).map(|i| model.probabilities(&request(i))).collect();
+        let service = PredictionService::start(
+            model,
+            ServeConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(2),
+                threads: 2,
+            },
+        );
+        // Submit from several client threads so batches actually form.
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let client = service.client();
+            handles.push(std::thread::spawn(move || {
+                (0..16)
+                    .map(|j| {
+                        let i = t * 16 + j;
+                        (i, client.predict(request(i)).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (i, prediction) in handle.join().unwrap() {
+                let (cu, dur) = &expected[i];
+                assert_eq!(
+                    &prediction.cu_probs, cu,
+                    "cu probs diverged for request {i}"
+                );
+                assert_eq!(
+                    &prediction.duration_probs, dur,
+                    "duration probs diverged for request {i}"
+                );
+                assert!(prediction.batch_rows >= 1);
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_a_per_request_error() {
+        let service = PredictionService::start(test_model(), ServeConfig::default());
+        let client = service.client();
+        let err = client.predict(SparseVec::binary(3, vec![0])).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::FeatureDim {
+                expected: 6,
+                got: 3
+            }
+        );
+        // The service is still healthy afterwards.
+        assert!(client.predict(request(0)).is_ok());
+    }
+
+    #[test]
+    fn killing_every_worker_degrades_to_per_request_errors_not_a_crash() {
+        let service = PredictionService::start(
+            test_model(),
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_micros(200),
+                threads: 2,
+            },
+        );
+        let client = service.client();
+        // Healthy first.
+        assert!(client.predict(request(0)).is_ok());
+        // Kill both workers.  The poison jobs sit ahead of any scoring job in
+        // the pool's FIFO queue, so the next batch deterministically fails.
+        service.inject_worker_failure();
+        service.inject_worker_failure();
+        for i in 0..10 {
+            match client.predict(request(i)) {
+                Err(ServeError::Pool(PoolError::ShutDown))
+                | Err(ServeError::Pool(PoolError::WorkerLost { .. })) => {}
+                other => panic!("request {i}: expected a pool error, got {other:?}"),
+            }
+        }
+        // Still answering (with errors), not aborted: shutdown cleanly.
+        service.shutdown();
+    }
+
+    #[test]
+    fn killing_one_of_many_workers_keeps_answers_correct() {
+        let model = test_model();
+        let expected = model.probabilities(&request(5));
+        let service = PredictionService::start(
+            model,
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                threads: 4,
+            },
+        );
+        service.inject_worker_failure();
+        let client = service.client();
+        // One worker dies eating the poison job; the other three keep the
+        // pool (and its bitwise scoring) fully functional.  A request may
+        // race the poison into the same batch and fail; retry past it.
+        let mut ok = 0;
+        for _ in 0..50 {
+            if let Ok(prediction) = client.predict(request(5)) {
+                assert_eq!(prediction.cu_probs, expected.0);
+                assert_eq!(prediction.duration_probs, expected.1);
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "no request succeeded after a single-worker failure");
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_later_requests_error() {
+        let service = PredictionService::start(test_model(), ServeConfig::default());
+        let client = service.client();
+        assert!(client.predict(request(1)).is_ok());
+        service.shutdown();
+        assert_eq!(
+            client.predict(request(1)).unwrap_err(),
+            ServeError::ShutDown
+        );
+    }
+
+    #[test]
+    fn drop_joins_the_dispatcher() {
+        let service = PredictionService::start(test_model(), ServeConfig::default());
+        let client = service.client();
+        drop(service);
+        assert_eq!(
+            client.predict(request(2)).unwrap_err(),
+            ServeError::ShutDown
+        );
+    }
+
+    #[test]
+    fn serial_pool_service_works_end_to_end() {
+        let model = test_model();
+        let expected = model.probabilities(&request(3));
+        let service = PredictionService::start(
+            model,
+            ServeConfig {
+                max_batch: 2,
+                max_wait: Duration::from_micros(50),
+                threads: 1,
+            },
+        );
+        let client = service.client();
+        // Fault injection is a no-op on the serial pool.
+        service.inject_worker_failure();
+        let prediction = client.predict(request(3)).unwrap();
+        assert_eq!(prediction.cu_probs, expected.0);
+        assert_eq!(prediction.duration_probs, expected.1);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,273 @@
+//! The prediction service: a dispatcher thread that micro-batches requests,
+//! scores each batch as one register-blocked `CSR × Θ` pass, and fans the
+//! per-row distributions back to the callers in submission order.
+
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pfp_core::DmcpModel;
+use pfp_math::parallel::chunk_ranges;
+use pfp_math::softmax::softmax;
+use pfp_math::{CsrMatrix, PoolError, SparseVec, WorkerPool};
+
+use crate::batcher::collect_batch;
+
+/// Tuning knobs for the micro-batcher and the scoring pool.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch once it holds this many requests (0 behaves as 1).
+    pub max_batch: usize,
+    /// Flush a batch this long after its first request arrived.
+    pub max_wait: Duration,
+    /// Scoring threads (`WorkerPool` width).  `1` scores inline on the
+    /// dispatcher thread; `0` resolves to the machine's core count.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            threads: 1,
+        }
+    }
+}
+
+/// Why a prediction request failed.  The service itself stays up: every
+/// variant is a per-request answer, never a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's feature vector does not match the model's dimension.
+    FeatureDim { expected: usize, got: usize },
+    /// The scoring pool failed mid-batch (a worker thread died); the request
+    /// was not scored.
+    Pool(PoolError),
+    /// The service has shut down and can no longer accept or answer requests.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::FeatureDim { expected, got } => write!(
+                f,
+                "feature dimension mismatch: model expects {expected}, request has {got}"
+            ),
+            ServeError::Pool(err) => write!(f, "scoring pool failure: {err}"),
+            ServeError::ShutDown => write!(f, "prediction service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One request's answer: the conditional transfer distribution over care
+/// units and the duration-class distribution (Eq. 5 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// `p(c | t, H_t)` over the `C` destination care units.
+    pub cu_probs: Vec<f64>,
+    /// `p(d | t, H_t)` over the `D` duration classes.
+    pub duration_probs: Vec<f64>,
+    /// How many rows were in the micro-batch this request was scored with
+    /// (observability: 1 means the batcher flushed on the timer).
+    pub batch_rows: usize,
+}
+
+enum Msg {
+    Predict {
+        features: SparseVec,
+        reply: Sender<Result<Prediction, ServeError>>,
+    },
+    /// Test/bench hook: kill one scoring worker (fault injection).
+    InjectWorkerFailure,
+    /// Stop the dispatcher after answering the current batch.  An explicit
+    /// sentinel rather than channel closure: outstanding [`ServeClient`]
+    /// clones each hold a `Sender`, so the channel alone cannot signal
+    /// shutdown while clients are alive.
+    Shutdown,
+}
+
+/// A running prediction service.  Owns the dispatcher thread; dropping the
+/// service (or calling [`PredictionService::shutdown`]) closes the request
+/// channel, drains in-flight batches, and joins the dispatcher.
+pub struct PredictionService {
+    tx: Option<Sender<Msg>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+/// A cloneable handle for submitting prediction requests.  Each clone may be
+/// moved to its own thread; requests from all clones are micro-batched
+/// together by the single dispatcher.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: Sender<Msg>,
+}
+
+impl PredictionService {
+    /// Spawn the dispatcher thread around a trained model.
+    pub fn start(model: DmcpModel, config: ServeConfig) -> PredictionService {
+        let (tx, rx) = channel::<Msg>();
+        let dispatcher = std::thread::Builder::new()
+            .name("pfp-serve-dispatcher".into())
+            .spawn(move || {
+                let pool = WorkerPool::new(config.threads);
+                let width = model.num_cus + model.num_durations;
+                // The CSR block is reused across batches: `clear_rows` keeps
+                // the index/value capacity, so a steady-state batch packs
+                // with zero allocations.
+                let mut block = CsrMatrix::with_dim(model.num_features());
+                let mut pending: Vec<Sender<Result<Prediction, ServeError>>> = Vec::new();
+                let mut stop = false;
+                while !stop {
+                    let Some(batch) = collect_batch(&rx, config.max_batch, config.max_wait) else {
+                        break;
+                    };
+                    block.clear_rows();
+                    pending.clear();
+                    for msg in batch {
+                        match msg {
+                            Msg::Predict { features, reply } => {
+                                if features.dim() != model.num_features() {
+                                    let _ = reply.send(Err(ServeError::FeatureDim {
+                                        expected: model.num_features(),
+                                        got: features.dim(),
+                                    }));
+                                } else {
+                                    block.push_row(&features);
+                                    pending.push(reply);
+                                }
+                            }
+                            Msg::InjectWorkerFailure => {
+                                pool.inject_worker_failure();
+                            }
+                            // Finish answering the batch in flight, then
+                            // exit; replies queued after the sentinel drop,
+                            // surfacing as `ShutDown` at the callers.
+                            Msg::Shutdown => stop = true,
+                        }
+                    }
+                    let k = block.rows();
+                    if k == 0 {
+                        continue;
+                    }
+                    // Shard the batch across the pool.  Each shard performs
+                    // the same per-row FLOPs in the same order as a
+                    // single-request scoring, so batched results are bitwise
+                    // identical to `model.probabilities` per request.
+                    let shards = chunk_ranges(k, pool.workers().max(1));
+                    let block_ref = &block;
+                    let model_ref = &model;
+                    let tasks: Vec<_> = shards
+                        .into_iter()
+                        .map(|range| {
+                            move || {
+                                let mut out = vec![0.0; range.len() * width];
+                                block_ref.accumulate_scores_range(
+                                    &model_ref.theta,
+                                    range,
+                                    &mut out,
+                                );
+                                out.chunks_exact(width)
+                                    .map(|row| {
+                                        let (cu, dur) = row.split_at(model_ref.num_cus);
+                                        Prediction {
+                                            cu_probs: softmax(cu),
+                                            duration_probs: softmax(dur),
+                                            batch_rows: k,
+                                        }
+                                    })
+                                    .collect::<Vec<Prediction>>()
+                            }
+                        })
+                        .collect();
+                    match pool.try_run(tasks) {
+                        Ok(parts) => {
+                            let mut predictions = parts.into_iter().flatten();
+                            for reply in pending.drain(..) {
+                                let prediction = predictions
+                                    .next()
+                                    .expect("shard fan-in lost a prediction row");
+                                let _ = reply.send(Ok(prediction));
+                            }
+                        }
+                        // The pool failed (worker death): every request in
+                        // this batch gets a typed error, and the service
+                        // keeps serving — later batches fail the same way
+                        // rather than aborting the process.
+                        Err(err) => {
+                            for reply in pending.drain(..) {
+                                let _ = reply.send(Err(ServeError::Pool(err.clone())));
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn pfp-serve dispatcher thread");
+        PredictionService {
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A new request handle; clones share the dispatcher.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: self
+                .tx
+                .clone()
+                .expect("prediction service already shut down"),
+        }
+    }
+
+    /// Kill one scoring worker (fault injection for tests and the load
+    /// harness).  The failure surfaces on the batch *after* the message is
+    /// dispatched; requests already answered are unaffected.
+    pub fn inject_worker_failure(&self) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Msg::InjectWorkerFailure);
+        }
+    }
+
+    /// Stop accepting requests, drain in-flight batches, and join the
+    /// dispatcher.  Outstanding [`ServeClient`] handles get
+    /// [`ServeError::ShutDown`] from then on.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl ServeClient {
+    /// Submit one featurized sample and block for its distribution pair.
+    ///
+    /// Errors are per-request: a dimension mismatch or a scoring-pool
+    /// failure answers *this* call with `Err`, leaving the service (and
+    /// other clients) running.
+    pub fn predict(&self, features: SparseVec) -> Result<Prediction, ServeError> {
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .send(Msg::Predict {
+                features,
+                reply: reply_tx,
+            })
+            .map_err(|_| ServeError::ShutDown)?;
+        reply_rx.recv().map_err(|_| ServeError::ShutDown)?
+    }
+}

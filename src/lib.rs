@@ -18,6 +18,9 @@
 //!   self-correcting baselines.
 //! * [`eval`] — metrics, cross-validation and the experiment harness that
 //!   regenerates every table and figure of the paper.
+//! * [`serve`] — micro-batched prediction service over a trained model
+//!   (feature vector in, transfer distribution out), with per-request
+//!   failure semantics.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +45,4 @@ pub use pfp_eval as eval;
 pub use pfp_math as math;
 pub use pfp_optim as optim;
 pub use pfp_point_process as point_process;
+pub use pfp_serve as serve;
