@@ -36,6 +36,9 @@
 //!   strategies of Section 3.3.
 //! * [`joint`] — the joint `C·D`-class classifier the paper reports as an
 //!   over-fitting straw man.
+//! * [`stream`] — sharded and out-of-core training over streaming cohort
+//!   shards: bounded-memory objectives that reproduce the materialized path
+//!   bitwise ([`stream::train_sharded`], [`stream::train_streamed`]).
 
 pub mod dataset;
 pub mod features;
@@ -43,10 +46,14 @@ pub mod imbalance;
 pub mod joint;
 pub mod loss;
 pub mod model;
+pub mod stream;
 pub mod train;
 
 pub use dataset::{Dataset, Sample};
 pub use features::{FeatureMapKind, HistoryFeaturizer, McpConfig};
 pub use imbalance::ImbalanceStrategy;
 pub use model::DmcpModel;
+pub use stream::{
+    train_sharded, train_streamed, ShardedDmcpObjective, ShardedSamples, StreamingDmcpObjective,
+};
 pub use train::{train, SolverMode, TrainConfig};

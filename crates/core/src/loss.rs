@@ -68,6 +68,73 @@ use pfp_optim::SmoothObjective;
 
 use crate::dataset::Sample;
 
+/// The fused batched kernel shared by the materialized [`DmcpObjective`] and
+/// the sharded/streaming objectives in [`crate::stream`]: one `CSR × Θ` scores
+/// pass over `rows`, one softmax/residual sweep (accumulating the weighted,
+/// un-normalised cross-entropy into `*loss`), one `CSRᵀ` scatter into `grad`.
+///
+/// `rows` indexes into `csr`; `label_of` / `weight_of` map a csr row index to
+/// its `(cu, duration)` labels and sample weight (sharded callers translate
+/// local to global indices in the closures).  Carrying `loss` as an
+/// accumulator — instead of returning it — is what makes a chunk *segmented*
+/// across several shard blocks bitwise-identical to the same chunk evaluated
+/// as one block: the loss additions, each row's softmax, and the scatter
+/// updates happen in the same order either way (per-row score equality across
+/// sub-ranges is property-tested in `pfp-math`'s csr module).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fused_csr_block(
+    csr: &CsrMatrix,
+    theta: &Matrix,
+    rows: Range<usize>,
+    num_cus: usize,
+    num_durations: usize,
+    norm: f64,
+    label_of: impl Fn(usize) -> (usize, usize),
+    weight_of: impl Fn(usize) -> f64,
+    grad: &mut Matrix,
+    loss: &mut f64,
+) {
+    // The packed score block (`rows.len() × (C+D)`, ~325 KB at fig-2 scale)
+    // is reused across evaluations via a thread-local buffer: the serial path
+    // and each persistent `WorkerPool` worker allocate it once per solve
+    // instead of once per evaluation.  Zeroing (`fill`) is a memset, far
+    // cheaper than a fresh large allocation.
+    thread_local! {
+        static SCORE_BLOCK: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCORE_BLOCK.with(|cell| {
+        let mut block = cell.borrow_mut();
+        let k = num_cus + num_durations;
+        block.clear();
+        block.resize(rows.len() * k, 0.0);
+        csr.accumulate_scores_range(theta, rows.clone(), &mut block);
+        for (local, i) in rows.clone().enumerate() {
+            let (cu_label, duration_label) = label_of(i);
+            let row = &mut block[local * k..(local + 1) * k];
+            let (cu_scores, dur_scores) = row.split_at_mut(num_cus);
+            let w = weight_of(i);
+            let wn = w / norm;
+            let mut l = cross_entropy(cu_scores, cu_label);
+            softmax_in_place(cu_scores);
+            for (c, out) in cu_scores.iter_mut().enumerate() {
+                *out = wn * (*out - if c == cu_label { 1.0 } else { 0.0 });
+            }
+            if num_durations > 1 {
+                l += cross_entropy(dur_scores, duration_label);
+                softmax_in_place(dur_scores);
+                for (d, out) in dur_scores.iter_mut().enumerate() {
+                    *out = wn * (*out - if d == duration_label { 1.0 } else { 0.0 });
+                }
+            } else {
+                dur_scores[0] = 0.0;
+            }
+            *loss += w * l;
+        }
+        csr.scatter_gradient_range(&block, rows, grad);
+    })
+}
+
 /// The multinomial two-head cross-entropy objective over featurized samples.
 pub struct DmcpObjective<'a> {
     samples: &'a [Sample],
@@ -302,49 +369,23 @@ impl<'a> DmcpObjective<'a> {
         range: Range<usize>,
         grad: &mut Matrix,
     ) -> f64 {
-        // The packed score block (`range.len() × (C+D)`, ~325 KB at fig-2
-        // scale) is reused across evaluations via a thread-local buffer: the
-        // serial path and each persistent `WorkerPool` worker allocate it
-        // once per solve instead of once per evaluation.  Zeroing (`fill`)
-        // is a memset, far cheaper than a fresh large allocation.
-        thread_local! {
-            static SCORE_BLOCK: std::cell::RefCell<Vec<f64>> =
-                const { std::cell::RefCell::new(Vec::new()) };
-        }
-        SCORE_BLOCK.with(|cell| {
-            let mut block = cell.borrow_mut();
-            let k = self.num_outputs();
-            let norm = self.total_weight;
-            block.clear();
-            block.resize(range.len() * k, 0.0);
-            self.csr
-                .accumulate_scores_range(theta, range.clone(), &mut block);
-            let mut loss = 0.0;
-            for (local, i) in range.clone().enumerate() {
+        let mut loss = 0.0;
+        fused_csr_block(
+            &self.csr,
+            theta,
+            range,
+            self.num_cus,
+            self.num_durations,
+            self.total_weight,
+            |i| {
                 let s = &self.samples[i];
-                let row = &mut block[local * k..(local + 1) * k];
-                let (cu_scores, dur_scores) = row.split_at_mut(self.num_cus);
-                let w = self.weight(i);
-                let wn = w / norm;
-                let mut l = cross_entropy(cu_scores, s.cu_label);
-                softmax_in_place(cu_scores);
-                for (c, out) in cu_scores.iter_mut().enumerate() {
-                    *out = wn * (*out - if c == s.cu_label { 1.0 } else { 0.0 });
-                }
-                if self.num_durations > 1 {
-                    l += cross_entropy(dur_scores, s.duration_label);
-                    softmax_in_place(dur_scores);
-                    for (d, out) in dur_scores.iter_mut().enumerate() {
-                        *out = wn * (*out - if d == s.duration_label { 1.0 } else { 0.0 });
-                    }
-                } else {
-                    dur_scores[0] = 0.0;
-                }
-                loss += w * l;
-            }
-            self.csr.scatter_gradient_range(&block, range, grad);
-            loss
-        })
+                (s.cu_label, s.duration_label)
+            },
+            |i| self.weight(i),
+            grad,
+            &mut loss,
+        );
+        loss
     }
 
     /// The fused evaluation over the per-sample sparse vectors, bypassing the

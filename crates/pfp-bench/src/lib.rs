@@ -5,11 +5,13 @@
 //!
 //! This library crate only hosts the tiny bits shared by those binaries (and
 //! by the workspace's integration tests): a dependency-free command-line
-//! flag parser, plain-text table rendering, and the evaluation-counting
-//! objective decorator used by the convergence regression gates.
+//! flag parser, plain-text table rendering, the evaluation-counting
+//! objective decorator used by the convergence regression gates, and the
+//! heap-tracking allocator behind the bounded-memory gates ([`mem`]).
 
 pub mod cli;
 pub mod counting;
+pub mod mem;
 pub mod table;
 
 pub use cli::Args;

@@ -1,0 +1,138 @@
+//! Heap accounting for the bounded-memory reproduction binaries.
+//!
+//! [`TrackingAllocator`] wraps the system allocator with two atomic
+//! counters: live bytes and the high-water mark since the last
+//! [`reset_peak`].  Binaries that want the numbers install it as their
+//! global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pfp_bench::mem::TrackingAllocator = pfp_bench::mem::TrackingAllocator;
+//! ```
+//!
+//! The counters track *requested* allocation sizes (`Layout::size`), not
+//! allocator-internal overhead, so they under-count RSS slightly —
+//! [`vm_hwm_kb`] reads the kernel's process-lifetime high-water mark as a
+//! cross-check.  Library tests and the other binaries never install the
+//! allocator, so the counters cost nothing there.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Record `size` bytes allocated.  Public so the bookkeeping is unit-testable
+/// without installing the allocator.
+pub fn record_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+/// Record `size` bytes freed.
+pub fn record_dealloc(size: usize) {
+    CURRENT.fetch_sub(size, Ordering::Relaxed);
+}
+
+/// Bytes currently live on the heap.
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live bytes since the last [`reset_peak`] (or process
+/// start).
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart peak tracking from the current live size — call between
+/// measurement phases.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// The kernel's peak-RSS figure (`VmHWM` from `/proc/self/status`), in KiB.
+/// `None` off Linux or if the field is missing.  Process-lifetime — it cannot
+/// be reset between phases, which is why the per-phase numbers come from the
+/// allocator counters instead.
+pub fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// A counting wrapper around the system allocator.  Zero-sized; install with
+/// `#[global_allocator]`.
+pub struct TrackingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters are
+// plain atomics and never allocate.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        record_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            record_dealloc(layout.size());
+            record_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One sequential test: the counters are process-global, and the test
+    // harness runs tests concurrently.
+    #[test]
+    fn counters_track_live_and_peak_bytes() {
+        let base = current_bytes();
+        reset_peak();
+        assert_eq!(peak_bytes(), base);
+
+        record_alloc(1000);
+        assert_eq!(current_bytes(), base + 1000);
+        assert_eq!(peak_bytes(), base + 1000);
+
+        record_alloc(500);
+        record_dealloc(1200);
+        assert_eq!(current_bytes(), base + 300);
+        assert_eq!(peak_bytes(), base + 1500, "peak survives frees");
+
+        reset_peak();
+        assert_eq!(peak_bytes(), base + 300, "reset re-anchors to live size");
+        record_alloc(100);
+        assert_eq!(peak_bytes(), base + 400);
+        record_dealloc(400);
+        assert_eq!(current_bytes(), base);
+    }
+
+    #[test]
+    fn vm_hwm_parses_on_linux() {
+        if cfg!(target_os = "linux") {
+            let hwm = vm_hwm_kb().expect("VmHWM present on Linux");
+            assert!(hwm > 0);
+        }
+    }
+}

@@ -263,10 +263,7 @@ pub fn generate_cohort(config: &CohortConfig) -> Cohort {
     let mut patients = Vec::with_capacity(config.num_patients);
     let mut archetypes = Vec::with_capacity(config.num_patients);
     for id in 0..config.num_patients {
-        let mut rng = seeded_rng(derive_seed(config.seed, id as u64));
-        let archetype = sample_archetype(&mut rng);
-        let record = generate_patient(id, archetype, config, &mut rng);
-        record.validate();
+        let (record, archetype) = generate_patient_record(config, id);
         patients.push(record);
         archetypes.push(archetype);
     }
@@ -276,6 +273,141 @@ pub fn generate_cohort(config: &CohortConfig) -> Cohort {
         archetypes,
     }
 }
+
+/// Generate the single patient `id` of the cohort described by `config`.
+///
+/// Every patient derives an independent RNG stream from
+/// `derive_seed(config.seed, id)`, so any patient can be generated without
+/// generating its predecessors — the property that makes [`CohortShards`]
+/// resumable from an arbitrary shard.  [`generate_cohort`] is exactly this
+/// call in a loop, so streamed and materialized cohorts are identical.
+pub fn generate_patient_record(config: &CohortConfig, id: usize) -> (PatientRecord, Archetype) {
+    let mut rng = seeded_rng(derive_seed(config.seed, id as u64));
+    let archetype = sample_archetype(&mut rng);
+    let record = generate_patient(id, archetype, config, &mut rng);
+    record.validate();
+    (record, archetype)
+}
+
+/// One block of consecutively-numbered patients produced by [`CohortShards`].
+#[derive(Debug, Clone)]
+pub struct CohortShard {
+    /// Id of the first patient in the shard (`patients[k].id == start_id + k`).
+    pub start_id: usize,
+    /// Patient records (at most `shard_size` of them).
+    pub patients: Vec<PatientRecord>,
+    /// Archetype assigned to each patient (parallel to `patients`).
+    pub archetypes: Vec<Archetype>,
+}
+
+impl CohortShard {
+    /// Number of patients in this shard.
+    pub fn len(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// Whether the shard holds no patients.
+    pub fn is_empty(&self) -> bool {
+        self.patients.is_empty()
+    }
+}
+
+/// Streaming cohort generator: yields the cohort of `config` as consecutive
+/// [`CohortShard`] blocks of at most `shard_size` patients, generating each
+/// patient on demand.
+///
+/// Peak memory is bounded by one shard (the iterator itself holds only the
+/// config and a cursor); consuming shard `k+1` after dropping shard `k` never
+/// holds more than `shard_size` patients live.  The stream is
+///
+/// - **seeded**: patient `id` is always `generate_patient_record(config, id)`,
+///   so the concatenation of all shards equals [`generate_cohort`]'s
+///   `patients` exactly, for any `shard_size`;
+/// - **resumable**: [`resume_from`](Self::resume_from) starts at shard `k`
+///   without generating shards `0..k`.
+#[derive(Debug, Clone)]
+pub struct CohortShards {
+    config: CohortConfig,
+    shard_size: usize,
+    next_id: usize,
+}
+
+impl CohortShards {
+    /// Stream the cohort of `config` in blocks of `shard_size` patients.
+    ///
+    /// # Panics
+    /// Panics if `shard_size == 0`.
+    pub fn new(config: &CohortConfig, shard_size: usize) -> Self {
+        assert!(shard_size > 0, "shard_size must be positive");
+        Self {
+            config: config.clone(),
+            shard_size,
+            next_id: 0,
+        }
+    }
+
+    /// Resume the stream at shard `shard_index` (0-based): the first shard
+    /// yielded is the same block that a fresh stream would yield as its
+    /// `shard_index`-th item.  An index at or past the end yields nothing.
+    pub fn resume_from(config: &CohortConfig, shard_size: usize, shard_index: usize) -> Self {
+        let mut shards = Self::new(config, shard_size);
+        shards.next_id = shard_index
+            .saturating_mul(shard_size)
+            .min(config.num_patients);
+        shards
+    }
+
+    /// Total number of shards the full stream yields (0 for an empty cohort).
+    pub fn num_shards(&self) -> usize {
+        self.config.num_patients.div_ceil(self.shard_size)
+    }
+
+    /// The configured shard size.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// The cohort configuration driving the stream.
+    pub fn config(&self) -> &CohortConfig {
+        &self.config
+    }
+}
+
+impl Iterator for CohortShards {
+    type Item = CohortShard;
+
+    fn next(&mut self) -> Option<CohortShard> {
+        if self.next_id >= self.config.num_patients {
+            return None;
+        }
+        let start_id = self.next_id;
+        let end_id = (start_id + self.shard_size).min(self.config.num_patients);
+        let mut patients = Vec::with_capacity(end_id - start_id);
+        let mut archetypes = Vec::with_capacity(end_id - start_id);
+        for id in start_id..end_id {
+            let (record, archetype) = generate_patient_record(&self.config, id);
+            patients.push(record);
+            archetypes.push(archetype);
+        }
+        self.next_id = end_id;
+        Some(CohortShard {
+            start_id,
+            patients,
+            archetypes,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .config
+            .num_patients
+            .saturating_sub(self.next_id)
+            .div_ceil(self.shard_size);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for CohortShards {}
 
 fn sample_archetype(rng: &mut StdRng) -> Archetype {
     let weights: Vec<f64> = Archetype::MIXTURE.iter().map(|&(_, w)| w).collect();
@@ -699,5 +831,62 @@ mod tests {
     #[should_panic(expected = "scale must be in (0, 1]")]
     fn scaled_config_rejects_bad_scale() {
         let _ = CohortConfig::scaled(1.5, 1);
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_materialized_cohort() {
+        let config = CohortConfig::tiny(21);
+        let cohort = generate_cohort(&config);
+        // 150 patients / 64 per shard → 3 shards (64, 64, 22).
+        let shards = CohortShards::new(&config, 64);
+        assert_eq!(shards.num_shards(), 3);
+        assert_eq!(shards.len(), 3);
+        let mut next_id = 0usize;
+        let mut seen = 0usize;
+        for shard in shards {
+            assert_eq!(shard.start_id, next_id);
+            assert!(shard.len() <= 64 && !shard.is_empty());
+            assert_eq!(shard.patients.len(), shard.archetypes.len());
+            for (k, (p, a)) in shard.patients.iter().zip(&shard.archetypes).enumerate() {
+                let id = shard.start_id + k;
+                assert_eq!(p.id, id);
+                assert_eq!(p.profile, cohort.patients[id].profile);
+                assert_eq!(p.stays.len(), cohort.patients[id].stays.len());
+                assert_eq!(*a, cohort.archetypes[id]);
+            }
+            next_id += shard.len();
+            seen += shard.len();
+        }
+        assert_eq!(seen, config.num_patients);
+    }
+
+    #[test]
+    fn resumed_stream_skips_exactly_the_first_shards() {
+        let config = CohortConfig::tiny(22);
+        let full: Vec<CohortShard> = CohortShards::new(&config, 40).collect();
+        let resumed: Vec<CohortShard> = CohortShards::resume_from(&config, 40, 2).collect();
+        assert_eq!(resumed.len(), full.len() - 2);
+        for (r, f) in resumed.iter().zip(&full[2..]) {
+            assert_eq!(r.start_id, f.start_id);
+            assert_eq!(r.patients.len(), f.patients.len());
+        }
+        // Resuming at or past the end yields nothing.
+        assert_eq!(CohortShards::resume_from(&config, 40, 99).count(), 0);
+    }
+
+    #[test]
+    fn empty_cohort_streams_zero_shards() {
+        let mut config = CohortConfig::tiny(1);
+        config.num_patients = 0;
+        let mut shards = CohortShards::new(&config, 8);
+        assert_eq!(shards.num_shards(), 0);
+        assert_eq!(shards.size_hint(), (0, Some(0)));
+        assert!(shards.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_size must be positive")]
+    fn zero_shard_size_is_rejected() {
+        let _ = CohortShards::new(&CohortConfig::tiny(1), 0);
     }
 }

@@ -25,7 +25,8 @@
 //! * [`departments`] — the CU taxonomy and the published Table 1/2 targets.
 //! * [`features`] — the feature dictionary (domain layout, index ranges).
 //! * [`patient`] — per-patient record types (transitions + feature vectors).
-//! * [`cohort`] — the generator ([`CohortConfig`], [`generate_cohort`]).
+//! * [`cohort`] — the generator ([`CohortConfig`], [`generate_cohort`], and
+//!   the streaming [`CohortShards`] iterator).
 //! * [`stats`] — descriptive statistics reproducing Tables 1–2 and Figure 2.
 
 pub mod cohort;
@@ -34,7 +35,10 @@ pub mod features;
 pub mod patient;
 pub mod stats;
 
-pub use cohort::{generate_cohort, Cohort, CohortConfig};
+pub use cohort::{
+    generate_cohort, generate_patient_record, Archetype, Cohort, CohortConfig, CohortShard,
+    CohortShards,
+};
 pub use departments::{CareUnit, NUM_CARE_UNITS, NUM_DURATION_CLASSES};
 pub use features::FeatureDictionary;
 pub use patient::{PatientRecord, Transition};

@@ -87,11 +87,19 @@ impl CsrMatrix {
     }
 
     /// Drop all rows, keeping `dim` and the allocated capacity, so one buffer
-    /// can be reused across micro-batch flushes without per-batch allocation.
+    /// can be reused across micro-batch flushes (and across streaming shard
+    /// repacks) without per-batch allocation.
+    ///
+    /// Re-establishes the leading `indptr` sentinel explicitly rather than
+    /// truncating to it: a value whose `indptr` is empty (e.g. deserialized
+    /// from hostile input) would otherwise stay sentinel-less, and every
+    /// subsequent [`push_row`](Self::push_row) would record offsets against a
+    /// missing base, corrupting the row layout.
     pub fn clear_rows(&mut self) {
-        self.indptr.truncate(1);
         self.indices.clear();
         self.values.clear();
+        self.indptr.clear();
+        self.indptr.push(0);
     }
 
     /// Pack sparse rows (each of dimensionality `dim`) into CSR form.
@@ -331,6 +339,63 @@ mod tests {
             incremental.push_row(r);
         }
         assert_eq!(incremental, packed);
+    }
+
+    /// Streaming shard training repacks one buffer over and over with
+    /// *varying* row counts.  Across ≥3 clear+repack cycles the layout must
+    /// match a fresh `from_rows` pack exactly, no stale `indptr` entries may
+    /// survive a shrink (4 rows → 1 row → 3 rows), and the allocations must
+    /// be reused, not reallocated, once capacity has grown to the high-water
+    /// mark.
+    #[test]
+    fn repeated_clear_and_repack_cycles_preserve_capacity_and_layout() {
+        let rows = sample_rows();
+        let mut buf = CsrMatrix::with_dim(5);
+        for r in &rows {
+            buf.push_row(r);
+        }
+        let indices_cap = buf.indices.capacity();
+        let values_cap = buf.values.capacity();
+        let indptr_cap = buf.indptr.capacity();
+        // Cycle through shrinking and growing row counts (all ≤ the first
+        // pack, so the high-water capacities must never change).
+        for cycle_rows in [&rows[..1], &rows[..3], &rows[..], &rows[..2]] {
+            buf.clear_rows();
+            assert_eq!((buf.rows(), buf.nnz(), buf.dim()), (0, 0, 5));
+            for r in cycle_rows {
+                buf.push_row(r);
+            }
+            let expected = CsrMatrix::from_rows(5, cycle_rows.iter());
+            assert_eq!(buf, expected);
+            assert_eq!(buf.indptr.len(), cycle_rows.len() + 1);
+            assert_eq!(buf.indices.capacity(), indices_cap, "indices reallocated");
+            assert_eq!(buf.values.capacity(), values_cap, "values reallocated");
+            assert_eq!(buf.indptr.capacity(), indptr_cap, "indptr reallocated");
+        }
+    }
+
+    /// Regression: `clear_rows` on a value whose `indptr` is empty (possible
+    /// via deserialization — `rows()` tolerates it) must re-establish the
+    /// leading 0 sentinel.  The old `truncate(1)` implementation left the
+    /// vector empty, so the next `push_row` recorded an end offset with no
+    /// base and every row lookup was shifted.
+    #[test]
+    fn clear_rows_restores_sentinel_on_empty_indptr() {
+        let mut m = CsrMatrix {
+            dim: 5,
+            indptr: Vec::new(),
+            indices: Vec::new(),
+            values: Vec::new(),
+        };
+        assert_eq!(m.rows(), 0);
+        m.clear_rows();
+        assert_eq!(m.indptr, vec![0]);
+        let row = SparseVec::from_pairs(5, vec![(1, 0.5), (4, -2.0)]);
+        m.push_row(&row);
+        assert_eq!(m.rows(), 1);
+        let (idx, val) = m.row(0);
+        assert_eq!(idx, row.indices());
+        assert_eq!(val, row.values());
     }
 
     #[test]

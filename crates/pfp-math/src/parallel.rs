@@ -82,6 +82,24 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// The overlap of two ranges (empty — `lo..lo` — when they do not overlap).
+///
+/// The sharded objective fold uses this to map a global per-thread chunk onto
+/// the shard blocks it crosses: chunks come from [`chunk_ranges`] over the
+/// *total* sample count, shards carry their own global sub-ranges, and each
+/// `(chunk, shard)` pair contributes exactly their intersection.
+///
+/// ```
+/// use pfp_math::parallel::intersect_ranges;
+/// assert_eq!(intersect_ranges(&(2..8), &(5..20)), 5..8);
+/// assert!(intersect_ranges(&(2..8), &(10..20)).is_empty());
+/// ```
+pub fn intersect_ranges(a: &Range<usize>, b: &Range<usize>) -> Range<usize> {
+    let lo = a.start.max(b.start);
+    let hi = a.end.min(b.end);
+    lo..hi.max(lo)
+}
+
 /// A boxed unit of work executed by a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -422,6 +440,49 @@ mod tests {
     fn chunk_ranges_is_deterministic() {
         assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
         assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn intersect_ranges_covers_overlap_cases() {
+        // Partial overlaps from either side, containment, identity.
+        assert_eq!(intersect_ranges(&(0..5), &(3..9)), 3..5);
+        assert_eq!(intersect_ranges(&(3..9), &(0..5)), 3..5);
+        assert_eq!(intersect_ranges(&(2..8), &(0..20)), 2..8);
+        assert_eq!(intersect_ranges(&(0..20), &(2..8)), 2..8);
+        assert_eq!(intersect_ranges(&(4..7), &(4..7)), 4..7);
+        // Disjoint and touching ranges are empty, never inverted.
+        assert!(intersect_ranges(&(0..3), &(3..6)).is_empty());
+        assert!(intersect_ranges(&(0..3), &(7..9)).is_empty());
+        assert!(intersect_ranges(&(7..9), &(0..3)).is_empty());
+        assert!(intersect_ranges(&(2..2), &(0..9)).is_empty());
+    }
+
+    #[test]
+    fn chunks_intersected_with_shards_tile_the_chunk_exactly() {
+        // The sharded-fold invariant: for any chunking and any sharding of the
+        // same 0..len, each chunk is tiled exactly by its shard intersections,
+        // in order.
+        let len = 29;
+        for chunks in [1usize, 2, 3, 8] {
+            for shard in [1usize, 4, 7, 29, 64] {
+                let shard_ranges: Vec<Range<usize>> = (0..len)
+                    .step_by(shard)
+                    .map(|s| s..(s + shard).min(len))
+                    .collect();
+                for chunk in chunk_ranges(len, chunks) {
+                    let mut cursor = chunk.start;
+                    for s in &shard_ranges {
+                        let overlap = intersect_ranges(&chunk, s);
+                        if overlap.is_empty() {
+                            continue;
+                        }
+                        assert_eq!(overlap.start, cursor, "chunks={chunks} shard={shard}");
+                        cursor = overlap.end;
+                    }
+                    assert_eq!(cursor, chunk.end, "chunks={chunks} shard={shard}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! bookkeeping.
 
 use patient_flow::core::loss::DmcpObjective;
-use patient_flow::core::{Dataset, SolverMode, TrainConfig};
+use patient_flow::core::stream::{train_streamed, ShardedDmcpObjective, ShardedSamples};
+use patient_flow::core::{train, Dataset, SolverMode, TrainConfig};
 use patient_flow::ehr::{generate_cohort, CohortConfig};
 use patient_flow::math::Matrix;
 use patient_flow::optim::admm::solve_group_lasso;
@@ -126,4 +127,73 @@ fn fixed_budget_mode_reproduces_the_legacy_call_pattern() {
     assert_eq!(counting.fused_calls(), outers + 1);
     assert_eq!(counting.gradient_calls(), outers * (inners - 1));
     assert_eq!(counting.value_calls(), 0);
+}
+
+/// Solving over shard blocks must retrace the materialized solve exactly —
+/// same per-outer objective trace (to the bit), same iterate, same selection
+/// matrix, same iteration counts — for every shard size, on both the default
+/// adaptive configuration and the loosely-toleranced early-stop fixture
+/// (adaptive ρ and the residual-based stop must see identical numbers, so
+/// they must make identical decisions).
+#[test]
+fn sharded_solve_retraces_the_materialized_solve_bitwise() {
+    let (dataset, samples) = fixture();
+    let rows = dataset.total_feature_dim();
+    let cols = dataset.num_cus + dataset.num_durations;
+    let theta0 = Matrix::zeros(rows, cols);
+
+    let mut early_stop = TrainConfig::fast().with_gamma(0.05);
+    early_stop.tolerance = 0.5;
+    early_stop.max_outer_iters = 100;
+    let configs = [TrainConfig::fast(), early_stop];
+
+    for config in &configs {
+        let reference =
+            DmcpObjective::new(&samples, None, rows, dataset.num_cus, dataset.num_durations);
+        let expected = solve_group_lasso(&reference, theta0.clone(), &config.admm_config());
+
+        for shard_size in [1usize, 7, samples.len(), samples.len() + 1] {
+            let sharded = ShardedSamples::from_samples(
+                &samples,
+                shard_size,
+                rows,
+                dataset.num_cus,
+                dataset.num_durations,
+            );
+            let objective = ShardedDmcpObjective::new(&sharded, None);
+            let result = solve_group_lasso(&objective, theta0.clone(), &config.admm_config());
+
+            assert_eq!(result.outer_iterations, expected.outer_iterations);
+            assert_eq!(result.converged, expected.converged);
+            assert_eq!(result.inner_iterations, expected.inner_iterations);
+            assert_eq!(result.objective_trace.len(), expected.objective_trace.len());
+            for (a, b) in result.objective_trace.iter().zip(&expected.objective_trace) {
+                assert_eq!(a.to_bits(), b.to_bits(), "shard={shard_size}");
+            }
+            assert_eq!(result.theta, expected.theta, "shard={shard_size}");
+            assert_eq!(result.x, expected.x, "shard={shard_size}");
+            assert_eq!(result.final_rho.to_bits(), expected.final_rho.to_bits());
+        }
+    }
+}
+
+/// End-to-end out-of-core training — the cohort regenerated from its seed on
+/// every evaluation, never materialized — must produce the *same model* as
+/// the classic generate → featurize → train pipeline, bit for bit.
+#[test]
+fn out_of_core_training_reproduces_materialized_training_bitwise() {
+    let cohort_config = CohortConfig::tiny(42);
+    let train_config = TrainConfig::fast();
+
+    let dataset = Dataset::from_cohort(&generate_cohort(&cohort_config));
+    let materialized = train(&dataset, &train_config);
+
+    for shard_size in [13usize, cohort_config.num_patients + 1] {
+        let streamed = train_streamed(&cohort_config, &train_config, shard_size);
+        assert_eq!(streamed.kind, materialized.kind, "shard={shard_size}");
+        assert_eq!(streamed.theta, materialized.theta, "shard={shard_size}");
+        assert_eq!(streamed.selection, materialized.selection);
+        assert_eq!(streamed.profile_dim, materialized.profile_dim);
+        assert_eq!(streamed.service_dim, materialized.service_dim);
+    }
 }

@@ -3,8 +3,14 @@
 //! The experiment harness relies on this to make every table/figure
 //! reproducible, so the check is at the event-sequence level (the paper's
 //! `(c, d, t)` transitions), not just record shapes.
+//!
+//! The streaming generator ([`CohortShards`]) extends the contract: the
+//! concatenation of the shards — whether streamed from the start, resumed
+//! from shard `k`, or re-streamed at a different shard size — must be
+//! bit-for-bit the cohort `generate_cohort` materializes, because every
+//! patient derives an independent RNG stream from `(seed, id)`.
 
-use patient_flow::ehr::{generate_cohort, CohortConfig};
+use patient_flow::ehr::{generate_cohort, CohortConfig, CohortShards, PatientRecord};
 
 #[test]
 fn tiny_cohort_generation_is_deterministic_for_a_fixed_seed() {
@@ -63,4 +69,79 @@ fn different_seeds_change_the_event_sequences() {
         fingerprint(&b),
         "seed must influence the cohort"
     );
+}
+
+/// Bit-level equality of two patient records: profile, stay fields (times as
+/// bits), and service vectors.
+fn assert_patients_identical(a: &PatientRecord, b: &PatientRecord) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.stays.len(), b.stays.len(), "patient {}", a.id);
+    for (sa, sb) in a.stays.iter().zip(&b.stays) {
+        assert_eq!(sa.cu, sb.cu);
+        assert_eq!(sa.entry_time.to_bits(), sb.entry_time.to_bits());
+        assert_eq!(sa.dwell_days.to_bits(), sb.dwell_days.to_bits());
+        assert_eq!(sa.services, sb.services);
+    }
+}
+
+#[test]
+fn streamed_shards_concatenate_to_the_materialized_cohort_bitwise() {
+    let config = CohortConfig::tiny(42);
+    let materialized = generate_cohort(&config);
+    // Shard sizes spanning one-patient shards, a ragged tail, and a single
+    // shard holding the whole cohort.
+    for shard_size in [1usize, 40, config.num_patients, config.num_patients + 9] {
+        let mut seen = 0usize;
+        for (k, shard) in CohortShards::new(&config, shard_size).enumerate() {
+            assert_eq!(shard.start_id, k * shard_size);
+            assert_eq!(shard.patients.len(), shard.archetypes.len());
+            for p in &shard.patients {
+                assert_patients_identical(p, &materialized.patients[seen]);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, materialized.patients.len(), "shard_size={shard_size}");
+    }
+}
+
+#[test]
+fn resumed_stream_is_bitwise_identical_to_the_skipped_prefix_stream() {
+    let config = CohortConfig::tiny(43);
+    let shard_size = 32;
+    let full: Vec<_> = CohortShards::new(&config, shard_size).collect();
+    for resume_at in [0usize, 1, 2, full.len() - 1] {
+        let resumed: Vec<_> = CohortShards::resume_from(&config, shard_size, resume_at).collect();
+        assert_eq!(resumed.len(), full.len() - resume_at);
+        for (shard, expected) in resumed.iter().zip(&full[resume_at..]) {
+            assert_eq!(shard.start_id, expected.start_id);
+            for (p, q) in shard.patients.iter().zip(&expected.patients) {
+                assert_patients_identical(p, q);
+            }
+        }
+    }
+    // Resuming past the end streams nothing.
+    assert_eq!(
+        CohortShards::resume_from(&config, shard_size, full.len() + 3).count(),
+        0
+    );
+}
+
+#[test]
+fn degenerate_stream_shapes() {
+    // Empty cohort: zero shards regardless of shard size.
+    let mut empty = CohortConfig::tiny(7);
+    empty.num_patients = 0;
+    assert_eq!(CohortShards::new(&empty, 16).count(), 0);
+
+    // Cohort smaller than one shard: exactly one shard with every patient.
+    let config = CohortConfig::tiny(7);
+    let shards: Vec<_> = CohortShards::new(&config, config.num_patients * 4).collect();
+    assert_eq!(shards.len(), 1);
+    assert_eq!(shards[0].patients.len(), config.num_patients);
+
+    // One patient per shard: the iterator's length accounting stays exact.
+    let iter = CohortShards::new(&config, 1);
+    assert_eq!(iter.len(), config.num_patients);
+    assert_eq!(iter.count(), config.num_patients);
 }
