@@ -53,7 +53,9 @@ pub use dataset::{Dataset, Sample};
 pub use features::{FeatureMapKind, HistoryFeaturizer, McpConfig};
 pub use imbalance::ImbalanceStrategy;
 pub use model::DmcpModel;
+pub use pfp_optim::admm::{PlateauStop, WarmStart, WarmStartError};
 pub use stream::{
-    train_sharded, train_streamed, ShardedDmcpObjective, ShardedSamples, StreamingDmcpObjective,
+    train_sharded, train_sharded_warm, train_streamed, train_streamed_warm, ShardedDmcpObjective,
+    ShardedSamples, StreamingDmcpObjective,
 };
-pub use train::{train, SolverMode, TrainConfig};
+pub use train::{initial_theta, train, train_warm, SolverMode, TrainConfig, TrainReport};

@@ -49,18 +49,16 @@ use pfp_ehr::{CohortConfig, CohortShards, PatientRecord};
 use pfp_math::parallel::{
     chunk_ranges, intersect_ranges, tree_reduce_matrices, tree_reduce_sums, WorkerPool,
 };
-use pfp_math::rng::seeded_rng;
 use pfp_math::{CsrMatrix, Matrix, SparseVec};
-use pfp_optim::admm::solve_group_lasso;
+use pfp_optim::admm::{WarmStart, WarmStartError};
 use pfp_optim::SmoothObjective;
-use rand::Rng;
 
 use crate::dataset::Sample;
 use crate::features::{FeatureMapKind, HistoryFeaturizer, HistoryStay, EVAL_OFFSET_DAYS};
 use crate::imbalance::ImbalanceStrategy;
 use crate::loss::fused_csr_block;
 use crate::model::DmcpModel;
-use crate::train::TrainConfig;
+use crate::train::{solve_for_train, TrainConfig, TrainReport};
 
 /// Featurize every transition sample of one patient, in transition order,
 /// without materializing `RawSample`s: `visit(features, cu_label,
@@ -325,7 +323,8 @@ impl ShardedSamples {
 /// The DMCP objective folded over [`ShardedSamples`] blocks.
 ///
 /// Drop-in replacement for [`DmcpObjective`](crate::loss::DmcpObjective) on the solver side
-/// ([`solve_group_lasso`] takes any [`SmoothObjective`]); reproduces it
+/// ([`solve_group_lasso`](pfp_optim::admm::solve_group_lasso) takes any
+/// [`SmoothObjective`]); reproduces it
 /// bitwise at a fixed thread count for any shard size (see the module docs
 /// for the argument, `tests/shard_equivalence.rs` for the proof-by-test).
 pub struct ShardedDmcpObjective<'a> {
@@ -773,6 +772,19 @@ impl SmoothObjective for StreamingDmcpObjective {
 /// [`ShardedSamples::stream_cohort`] or set `config.feature_map`), or the
 /// synthetic imbalance strategy.
 pub fn train_sharded(samples: &ShardedSamples, config: &TrainConfig) -> DmcpModel {
+    train_sharded_warm(samples, config, None)
+        .expect("cold start cannot fail")
+        .model
+}
+
+/// [`train_sharded`] with an optional carried [`WarmStart`], returning the
+/// full [`TrainReport`] — the rolling-retrain entry point: retrain on
+/// yesterday's shards plus today's, seeded from yesterday's exit state.
+pub fn train_sharded_warm(
+    samples: &ShardedSamples,
+    config: &TrainConfig,
+    warm: Option<&WarmStart>,
+) -> Result<TrainReport, WarmStartError> {
     let kind = config
         .feature_map
         .or(samples.kind)
@@ -786,21 +798,18 @@ pub fn train_sharded(samples: &ShardedSamples, config: &TrainConfig) -> DmcpMode
     };
     let objective =
         ShardedDmcpObjective::new(samples, weights.as_deref()).with_threads(config.threads);
-    let theta0 = initial_theta(
-        samples.num_features,
-        samples.num_cus + samples.num_durations,
-        config,
-    );
-    let result = solve_group_lasso(&objective, theta0, &config.admm_config());
-    DmcpModel {
-        theta: result.theta,
-        selection: result.x,
-        kind,
-        profile_dim: samples.profile_dim,
-        service_dim: samples.service_dim,
-        num_cus: samples.num_cus,
-        num_durations: samples.num_durations,
-    }
+    let result = solve_for_train(&objective, config, warm)?;
+    Ok(TrainReport::from_solve(result, |theta, selection| {
+        DmcpModel {
+            theta,
+            selection,
+            kind,
+            profile_dim: samples.profile_dim,
+            service_dim: samples.service_dim,
+            num_cus: samples.num_cus,
+            num_durations: samples.num_durations,
+        }
+    }))
 }
 
 /// Train a [`DmcpModel`] fully out-of-core: the cohort of `cohort_config`
@@ -818,6 +827,22 @@ pub fn train_streamed(
     config: &TrainConfig,
     shard_size: usize,
 ) -> DmcpModel {
+    train_streamed_warm(cohort_config, config, shard_size, None)
+        .expect("cold start cannot fail")
+        .model
+}
+
+/// [`train_streamed`] with an optional carried [`WarmStart`], returning the
+/// full [`TrainReport`].
+///
+/// # Panics
+/// Same conditions as [`train_streamed`].
+pub fn train_streamed_warm(
+    cohort_config: &CohortConfig,
+    config: &TrainConfig,
+    shard_size: usize,
+    warm: Option<&WarmStart>,
+) -> Result<TrainReport, WarmStartError> {
     assert!(
         config.imbalance == ImbalanceStrategy::None,
         "out-of-core training supports ImbalanceStrategy::None only"
@@ -825,27 +850,18 @@ pub fn train_streamed(
     let objective = StreamingDmcpObjective::new(cohort_config, config.feature_map, shard_size)
         .with_threads(config.threads);
     let kind = objective.kind();
-    let theta0 = initial_theta(objective.num_features, objective.num_outputs(), config);
-    let result = solve_group_lasso(&objective, theta0, &config.admm_config());
-    DmcpModel {
-        theta: result.theta,
-        selection: result.x,
-        kind,
-        profile_dim: objective.profile_dim,
-        service_dim: objective.service_dim,
-        num_cus: objective.num_cus,
-        num_durations: objective.num_durations,
-    }
-}
-
-/// The trainer's θ₀ initialisation, bit-for-bit
-/// (`crate::train::train_featurized` draws from the same derived stream in
-/// the same order).
-fn initial_theta(num_features: usize, num_outputs: usize, config: &TrainConfig) -> Matrix {
-    let mut rng = seeded_rng(config.seed ^ 0x007A_1E55);
-    Matrix::from_fn(num_features, num_outputs, |_, _| {
-        config.init_scale * (rng.gen::<f64>() - 0.5)
-    })
+    let result = solve_for_train(&objective, config, warm)?;
+    Ok(TrainReport::from_solve(result, |theta, selection| {
+        DmcpModel {
+            theta,
+            selection,
+            kind,
+            profile_dim: objective.profile_dim,
+            service_dim: objective.service_dim,
+            num_cus: objective.num_cus,
+            num_durations: objective.num_durations,
+        }
+    }))
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 
 use pfp_math::rng::seeded_rng;
 use pfp_math::Matrix;
-use pfp_optim::admm::{solve_group_lasso, AdaptiveRho, AdmmConfig, ThetaUpdate};
+use pfp_optim::admm::{
+    solve_group_lasso, solve_group_lasso_warm, AdaptiveRho, AdmmConfig, AdmmResult, PlateauStop,
+    ThetaUpdate, WarmStart, WarmStartError,
+};
 use pfp_optim::gd::{AcceleratedConfig, LearningRate};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -78,6 +81,12 @@ pub struct TrainConfig {
     /// thread budget (`pfp_eval::cv::ThreadBudget`) down here instead of `0`
     /// to avoid oversubscription.
     pub threads: usize,
+    /// Objective-plateau stopping criterion (`None` — the default — keeps the
+    /// solver on residual stopping alone).  Sweep and CV drivers turn it on:
+    /// in the weakly-determined small-γ regime residual stopping rarely fires
+    /// and the tail of each solve buys accuracy the downstream metric cannot
+    /// see.
+    pub plateau: Option<PlateauStop>,
 }
 
 impl TrainConfig {
@@ -100,6 +109,7 @@ impl TrainConfig {
             seed: 0,
             init_scale: 1e-3,
             threads: 1,
+            plateau: None,
         }
     }
 
@@ -159,6 +169,13 @@ impl TrainConfig {
         self
     }
 
+    /// Switch the objective-plateau stopping criterion, keeping everything
+    /// else (`None` disables it).
+    pub fn with_plateau(mut self, plateau: Option<PlateauStop>) -> Self {
+        self.plateau = plateau;
+        self
+    }
+
     /// The equivalent [`AdmmConfig`].
     ///
     /// [`SolverMode::Adaptive`] maps `tolerance` to the relative residual
@@ -168,14 +185,17 @@ impl TrainConfig {
     /// exactly.
     pub fn admm_config(&self) -> AdmmConfig {
         match self.solver {
-            SolverMode::FixedBudget => AdmmConfig::fixed_budget(
-                self.gamma,
-                self.rho,
-                self.learning_rate,
-                self.max_inner_iters,
-                self.max_outer_iters,
-                self.tolerance,
-            ),
+            SolverMode::FixedBudget => AdmmConfig {
+                plateau: self.plateau,
+                ..AdmmConfig::fixed_budget(
+                    self.gamma,
+                    self.rho,
+                    self.learning_rate,
+                    self.max_inner_iters,
+                    self.max_outer_iters,
+                    self.tolerance,
+                )
+            },
             SolverMode::Adaptive => AdmmConfig {
                 gamma: self.gamma,
                 rho: self.rho,
@@ -193,6 +213,7 @@ impl TrainConfig {
                 // tuned so the adaptive solve reaches (and slightly beats)
                 // the fixed-budget final objective before stopping.
                 eps_rel: 0.1 * self.tolerance,
+                plateau: self.plateau,
             },
         }
     }
@@ -204,17 +225,105 @@ impl Default for TrainConfig {
     }
 }
 
+/// A trained model plus the solver state a caller needs to chain solves
+/// (warm starts) and to account for the work done.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The trained model.
+    pub model: DmcpModel,
+    /// The solve's exit state, for seeding the next related solve
+    /// (next fold, next γ, next day's retrain).
+    pub warm_start: WarmStart,
+    /// Total objective evaluations of the solve (fused + separate passes).
+    pub evaluations: usize,
+    /// Outer ADMM iterations performed.
+    pub outer_iterations: usize,
+    /// Whether a stopping criterion fired before the outer cap.
+    pub converged: bool,
+    /// Whether the plateau criterion (not residual stopping) ended the solve.
+    pub plateau_stopped: bool,
+    /// Final value of the regularised objective `L(Θ) + γ‖X‖_{1,2}`.
+    pub final_objective: f64,
+}
+
+impl TrainReport {
+    pub(crate) fn from_solve(
+        result: AdmmResult,
+        make_model: impl FnOnce(Matrix, Matrix) -> DmcpModel,
+    ) -> Self {
+        let warm_start = result.warm_start();
+        let final_objective = *result
+            .objective_trace
+            .last()
+            .expect("trace holds at least the starting entry");
+        Self {
+            model: make_model(result.theta, result.x),
+            warm_start,
+            evaluations: result.evaluations,
+            outer_iterations: result.outer_iterations,
+            converged: result.converged,
+            plateau_stopped: result.plateau_stopped,
+            final_objective,
+        }
+    }
+}
+
+/// The trainer's θ₀ initialisation: a seeded uniform draw in
+/// `±init_scale/2`, derived from `config.seed` (shared bit-for-bit by the
+/// materialized, sharded and streaming trainers).  Public so benches and
+/// tests that drive [`pfp_optim::admm::solve_group_lasso`] directly can
+/// reproduce the trainer's cold start.
+pub fn initial_theta(num_features: usize, num_outputs: usize, config: &TrainConfig) -> Matrix {
+    let mut rng = seeded_rng(config.seed ^ 0x007A_1E55);
+    Matrix::from_fn(num_features, num_outputs, |_, _| {
+        config.init_scale * (rng.gen::<f64>() - 0.5)
+    })
+}
+
+/// Run the ADMM solve, cold (seeded θ₀, zero dual) or warm (carried state).
+pub(crate) fn solve_for_train<O: pfp_optim::SmoothObjective>(
+    objective: &O,
+    config: &TrainConfig,
+    warm: Option<&WarmStart>,
+) -> Result<AdmmResult, WarmStartError> {
+    match warm {
+        Some(w) => solve_group_lasso_warm(objective, &config.admm_config(), w),
+        None => {
+            let (rows, cols) = objective.shape();
+            let theta0 = initial_theta(rows, cols, config);
+            Ok(solve_group_lasso(objective, theta0, &config.admm_config()))
+        }
+    }
+}
+
 /// Train a [`DmcpModel`] on a raw dataset.
 ///
 /// # Panics
 /// Panics if the dataset contains no samples.
 pub fn train(dataset: &Dataset, config: &TrainConfig) -> DmcpModel {
+    train_warm(dataset, config, None)
+        .expect("cold start cannot fail")
+        .model
+}
+
+/// [`train`] with an optional [`WarmStart`] carried from a previous related
+/// solve, returning the full [`TrainReport`] (model + exit state + pass
+/// accounting).  With `warm == None` this is exactly `train` (the seeded
+/// cold θ₀ is drawn only on the cold path, so cold results are unchanged).
+///
+/// # Panics
+/// Panics if the dataset contains no samples.
+pub fn train_warm(
+    dataset: &Dataset,
+    config: &TrainConfig,
+    warm: Option<&WarmStart>,
+) -> Result<TrainReport, WarmStartError> {
     assert!(!dataset.is_empty(), "cannot train on an empty dataset");
     let kind = config
         .feature_map
         .unwrap_or_else(|| dataset.default_mcp_kind());
     let samples = dataset.featurize(kind);
-    train_featurized(
+    train_featurized_warm(
         samples,
         kind,
         dataset.profile_dim,
@@ -222,6 +331,7 @@ pub fn train(dataset: &Dataset, config: &TrainConfig) -> DmcpModel {
         dataset.num_cus,
         dataset.num_durations,
         config,
+        warm,
     )
 }
 
@@ -236,6 +346,34 @@ pub fn train_featurized(
     num_durations: usize,
     config: &TrainConfig,
 ) -> DmcpModel {
+    train_featurized_warm(
+        samples,
+        kind,
+        profile_dim,
+        service_dim,
+        num_cus,
+        num_durations,
+        config,
+        None,
+    )
+    .expect("cold start cannot fail")
+    .model
+}
+
+/// [`train_featurized`] with an optional carried [`WarmStart`], returning
+/// the full [`TrainReport`].  The γ-continuation driver and warm CV chain
+/// through this entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn train_featurized_warm(
+    samples: Vec<Sample>,
+    kind: FeatureMapKind,
+    profile_dim: usize,
+    service_dim: usize,
+    num_cus: usize,
+    num_durations: usize,
+    config: &TrainConfig,
+    warm: Option<&WarmStart>,
+) -> Result<TrainReport, WarmStartError> {
     assert!(!samples.is_empty(), "cannot train on an empty sample set");
     let num_features = profile_dim + service_dim;
     let (samples, weights) = config
@@ -250,22 +388,19 @@ pub fn train_featurized(
     )
     .with_threads(config.threads);
 
-    let mut rng = seeded_rng(config.seed ^ 0x007A_1E55);
-    let theta0 = Matrix::from_fn(num_features, num_cus + num_durations, |_, _| {
-        config.init_scale * (rng.gen::<f64>() - 0.5)
-    });
+    let result = solve_for_train(&objective, config, warm)?;
 
-    let result = solve_group_lasso(&objective, theta0, &config.admm_config());
-
-    DmcpModel {
-        theta: result.theta,
-        selection: result.x,
-        kind,
-        profile_dim,
-        service_dim,
-        num_cus,
-        num_durations,
-    }
+    Ok(TrainReport::from_solve(result, |theta, selection| {
+        DmcpModel {
+            theta,
+            selection,
+            kind,
+            profile_dim,
+            service_dim,
+            num_cus,
+            num_durations,
+        }
+    }))
 }
 
 #[cfg(test)]
@@ -435,6 +570,65 @@ mod tests {
         for s in &samples {
             assert_eq!(model.predict(&s.features), (s.cu_label, s.duration_label));
         }
+    }
+
+    #[test]
+    fn train_warm_with_no_state_is_exactly_train() {
+        let ds = dataset();
+        let config = TrainConfig::fast();
+        let model = train(&ds, &config);
+        let report = train_warm(&ds, &config, None).unwrap();
+        assert_eq!(report.model.theta, model.theta, "cold path must be bitwise");
+        assert_eq!(report.model.selection, model.selection);
+        assert!(report.evaluations > 0);
+        assert!(report.final_objective.is_finite());
+    }
+
+    #[test]
+    fn warm_retrain_on_the_same_data_is_cheaper_and_never_worse() {
+        let ds = dataset();
+        // Plateau stopping is the operative criterion in this regime (the
+        // near-zero dual makes eps_dual ∝ ρ‖Y‖ unreachably tight, so residual
+        // stopping never fires — see the PlateauStop docs).
+        let config = TrainConfig {
+            gamma: 5e-2,
+            max_outer_iters: 300,
+            plateau: Some(pfp_optim::PlateauStop::default()),
+            ..TrainConfig::paper_default()
+        };
+        let cold = train_warm(&ds, &config, None).unwrap();
+        assert!(cold.plateau_stopped, "fixture must stop on the plateau");
+        let warm = train_warm(&ds, &config, Some(&cold.warm_start)).unwrap();
+        // Restarting where the cold solve stalled: the plateau re-fires
+        // within a handful of outers, at an objective no worse than cold's.
+        assert!(
+            warm.evaluations * 4 < cold.evaluations,
+            "warm {} not ≪ cold {}",
+            warm.evaluations,
+            cold.evaluations
+        );
+        assert!(
+            warm.final_objective <= cold.final_objective + 1e-6,
+            "warm {} worse than cold {}",
+            warm.final_objective,
+            cold.final_objective
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_start_is_rejected_with_a_typed_error() {
+        let ds = dataset();
+        let bad = pfp_optim::WarmStart {
+            theta: Matrix::zeros(2, 2),
+            y: Matrix::zeros(2, 2),
+            rho: 1.0,
+            step: 0.1,
+        };
+        let err = train_warm(&ds, &TrainConfig::fast(), Some(&bad)).unwrap_err();
+        assert!(matches!(
+            err,
+            pfp_optim::WarmStartError::ShapeMismatch { .. }
+        ));
     }
 
     #[test]

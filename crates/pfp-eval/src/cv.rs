@@ -10,7 +10,7 @@
 //! in fold order, so the concurrency cap never changes the output.
 
 use pfp_baselines::FlowPredictor;
-use pfp_core::Dataset;
+use pfp_core::{Dataset, WarmStart};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{evaluate, AccuracyReport};
@@ -162,6 +162,68 @@ where
     CvResult { fold_reports, mean }
 }
 
+/// [`cross_validate_budgeted`] with ADMM warm-start state carried across
+/// folds.
+///
+/// `train_fn` receives the fold's training split plus the warm state carried
+/// over from earlier folds (`None` for the very first wave), and returns the
+/// trained predictor together with the state to carry forward (`None` keeps
+/// the current carry).  Fold models differ only in which ~`1/k` of the
+/// patients are held out, so the previous fold's `(Θ, Y, ρ, step)` is close
+/// to the next fold's solution and cuts its passes-to-tolerance.
+///
+/// Scheduling is wave-based like [`cross_validate_budgeted`]: every fold in a
+/// wave of `max_concurrent_folds` seeds from the carry left by the *previous*
+/// wave (the last fold, in fold order, that returned a state).  With
+/// `max_concurrent_folds = 1` this is strict fold-to-fold chaining; with a
+/// larger cap the folds inside one wave share a seed, so — unlike the cold
+/// [`cross_validate_budgeted`] — the concurrency cap changes which seed each
+/// fold sees (never the validation split or the stopping tolerances).
+pub fn cross_validate_warm<P, F>(
+    dataset: &Dataset,
+    k: usize,
+    seed: u64,
+    max_concurrent_folds: usize,
+    train_fn: F,
+) -> CvResult
+where
+    P: FlowPredictor + Send,
+    F: Fn(&Dataset, Option<&WarmStart>) -> (P, Option<WarmStart>) + Sync,
+{
+    let folds = dataset.k_folds(k, seed);
+    let max_concurrent = max_concurrent_folds.max(1);
+    let mut fold_reports: Vec<AccuracyReport> = Vec::with_capacity(folds.len());
+    let mut carry: Option<WarmStart> = None;
+    for wave in folds.chunks(max_concurrent) {
+        let carry_ref = carry.as_ref();
+        let wave_results: Vec<(AccuracyReport, Option<WarmStart>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|(train, val)| {
+                    let train_fn = &train_fn;
+                    scope.spawn(move || {
+                        let (model, state) = train_fn(train, carry_ref);
+                        (evaluate(&model, val), state)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold thread panicked"))
+                .collect()
+        });
+        for (report, state) in wave_results {
+            if state.is_some() {
+                carry = state;
+            }
+            fold_reports.push(report);
+        }
+    }
+
+    let mean = AccuracyReport::average(&fold_reports);
+    CvResult { fold_reports, mean }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +267,46 @@ mod tests {
             assert!((a.overall_cu - b.overall_cu).abs() < 1e-15);
         }
         assert!((all_at_once.mean.overall_cu - two_waves.mean.overall_cu).abs() < 1e-15);
+    }
+
+    #[test]
+    fn warm_cv_with_no_carry_matches_the_cold_harness() {
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(144)));
+        let cold = cross_validate_budgeted(&ds, 4, 9, 2, MarkovPredictor::train);
+        let warm = cross_validate_warm(&ds, 4, 9, 2, |train, carry| {
+            assert!(carry.is_none(), "nobody returned a state, so none arrives");
+            (MarkovPredictor::train(train), None)
+        });
+        for (a, b) in cold.fold_reports.iter().zip(warm.fold_reports.iter()) {
+            assert_eq!(a.num_samples, b.num_samples);
+            assert!((a.overall_cu - b.overall_cu).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn warm_state_is_carried_across_waves_not_within_them() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(145)));
+        let dummy = || pfp_core::WarmStart {
+            theta: pfp_math::Matrix::zeros(2, 3),
+            y: pfp_math::Matrix::zeros(2, 3),
+            rho: 1.0,
+            step: 0.5,
+        };
+        for (cap, expected_seeded) in [(1usize, 3usize), (4, 0), (2, 2)] {
+            let seeded = AtomicUsize::new(0);
+            cross_validate_warm(&ds, 4, 9, cap, |train, carry| {
+                if carry.is_some() {
+                    seeded.fetch_add(1, Ordering::SeqCst);
+                }
+                (MarkovPredictor::train(train), Some(dummy()))
+            });
+            assert_eq!(
+                seeded.load(Ordering::SeqCst),
+                expected_seeded,
+                "cap={cap}: every fold after the first wave should see a carry"
+            );
+        }
     }
 
     #[test]

@@ -119,6 +119,47 @@ impl Default for AdaptiveRho {
     }
 }
 
+/// Objective-plateau stopping criterion for the weakly-determined regimes
+/// (small γ, flat small-eigenvalue directions) where the residual criteria
+/// rarely fire: stop once the objective-trace improvement over a sliding
+/// window of outer iterations falls below a relative threshold.
+///
+/// Off by default (`AdmmConfig::plateau == None`) — residual stopping is the
+/// principled criterion and the plateau test can stop short of it.  Sweep and
+/// CV drivers turn it on: they run many closely-related solves where the tail
+/// of each solve buys accuracy the downstream metric cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlateauStop {
+    /// Window length in outer iterations: the trace entry `window` outers ago
+    /// is compared against the latest one.
+    pub window: usize,
+    /// Relative improvement threshold: stop when
+    /// `trace[k − window] − trace[k] ≤ rel_tol · max(|trace[k − window]|, ε)`.
+    pub rel_tol: f64,
+}
+
+impl Default for PlateauStop {
+    fn default() -> Self {
+        Self {
+            window: 5,
+            rel_tol: 1e-4,
+        }
+    }
+}
+
+impl PlateauStop {
+    /// Whether the plateau criterion fires on the given objective trace
+    /// (index 0 is the starting point, one more entry per outer iteration).
+    fn fires(&self, trace: &[f64]) -> bool {
+        if self.window == 0 || trace.len() <= self.window {
+            return false;
+        }
+        let past = trace[trace.len() - 1 - self.window];
+        let now = trace[trace.len() - 1];
+        past - now <= self.rel_tol * past.abs().max(1e-12)
+    }
+}
+
 /// How the Θ-update minimises the augmented Lagrangian.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ThetaUpdate {
@@ -170,6 +211,9 @@ pub struct AdmmConfig {
     pub eps_abs: f64,
     /// Relative residual tolerance ε_rel.
     pub eps_rel: f64,
+    /// Objective-plateau stopping (`None` — the default — disables it; see
+    /// [`PlateauStop`]).
+    pub plateau: Option<PlateauStop>,
 }
 
 impl Default for AdmmConfig {
@@ -187,6 +231,7 @@ impl Default for AdmmConfig {
             adaptive_rho: Some(AdaptiveRho::default()),
             eps_abs: 1e-8,
             eps_rel: 1e-4,
+            plateau: None,
         }
     }
 }
@@ -214,7 +259,121 @@ impl AdmmConfig {
             adaptive_rho: None,
             eps_abs: 0.0,
             eps_rel: 0.0,
+            plateau: None,
         }
+    }
+}
+
+/// ADMM state carried from one solve into the next (warm start).
+///
+/// Every real use of the trainer is a *sequence* of closely-related solves —
+/// CV folds, γ-continuation sweeps, rolling retrains — and the previous
+/// solve's state is a good prediction of the next solution: seeding (Θ, the
+/// scaled dual Y, ρ, the accelerated Θ-update's accepted step) cuts
+/// iterations-to-tolerance without changing what the solver converges *to*
+/// (the stopping criteria are a property of the iterate, not of the path).
+///
+/// Captured from a finished solve with [`AdmmResult::warm_start`] and
+/// consumed by [`solve_group_lasso_warm`].  The auxiliary X is *not* carried:
+/// the X-update is an exact prox step, so X is recomputed from (Θ, Y, ρ, γ)
+/// in the first outer iteration — carrying it would only let a stale γ leak
+/// into the new problem.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Smooth iterate Θ of the previous solve.
+    pub theta: Matrix,
+    /// Scaled dual Y of the previous solve.
+    pub y: Matrix,
+    /// Penalty weight ρ at the previous solve's exit (the residual-balanced
+    /// value, not the configured one).
+    pub rho: f64,
+    /// Accepted accelerated-Θ-update step size at exit; `0.0` means "no step
+    /// history" (e.g. recorded from a fixed-step solve) and falls back to the
+    /// configured initial step.
+    pub step: f64,
+}
+
+/// Why a [`WarmStart`] was rejected by [`solve_group_lasso_warm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarmStartError {
+    /// Θ or Y does not match the objective's parameter shape.
+    ShapeMismatch {
+        /// Which carried matrix mismatched (`"theta"` or `"y"`).
+        field: &'static str,
+        /// The objective's parameter shape.
+        expected: (usize, usize),
+        /// The carried matrix's shape.
+        got: (usize, usize),
+    },
+    /// The carried ρ is non-positive or non-finite.
+    InvalidRho(f64),
+    /// The carried step size is negative or non-finite (`0.0` is allowed and
+    /// means "no step history").
+    InvalidStep(f64),
+    /// Θ or Y contains a non-finite entry.
+    NonFinite {
+        /// Which carried matrix held the non-finite entry.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for WarmStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmStartError::ShapeMismatch {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "warm-start {field} shape {got:?} does not match the objective shape {expected:?}"
+            ),
+            WarmStartError::InvalidRho(rho) => {
+                write!(f, "warm-start rho must be positive and finite, got {rho}")
+            }
+            WarmStartError::InvalidStep(step) => write!(
+                f,
+                "warm-start step must be non-negative and finite, got {step}"
+            ),
+            WarmStartError::NonFinite { field } => {
+                write!(f, "warm-start {field} contains a non-finite entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarmStartError {}
+
+impl WarmStart {
+    /// Check this state against an objective's parameter shape.
+    pub fn validate(&self, shape: (usize, usize)) -> Result<(), WarmStartError> {
+        if self.theta.shape() != shape {
+            return Err(WarmStartError::ShapeMismatch {
+                field: "theta",
+                expected: shape,
+                got: self.theta.shape(),
+            });
+        }
+        if self.y.shape() != shape {
+            return Err(WarmStartError::ShapeMismatch {
+                field: "y",
+                expected: shape,
+                got: self.y.shape(),
+            });
+        }
+        if !(self.rho.is_finite() && self.rho > 0.0) {
+            return Err(WarmStartError::InvalidRho(self.rho));
+        }
+        if !(self.step.is_finite() && self.step >= 0.0) {
+            return Err(WarmStartError::InvalidStep(self.step));
+        }
+        if !self.theta.is_finite() {
+            return Err(WarmStartError::NonFinite { field: "theta" });
+        }
+        if !self.y.is_finite() {
+            return Err(WarmStartError::NonFinite { field: "y" });
+        }
+        Ok(())
     }
 }
 
@@ -225,6 +384,8 @@ pub struct AdmmResult {
     pub theta: Matrix,
     /// Final auxiliary iterate X (has exact zero rows — use for selection).
     pub x: Matrix,
+    /// Final scaled dual Y (warm-start state for a follow-up solve).
+    pub y: Matrix,
     /// Objective trace `L(Θ) + γ‖X‖_{1,2}` per outer iteration (index 0 is
     /// the starting point; one more entry per completed outer iteration,
     /// early-stopped ones included).
@@ -248,6 +409,25 @@ pub struct AdmmResult {
     /// the single initial evaluation).  Summing a prefix gives the
     /// passes-to-reach-a-trace-entry accounting used by `repro_fused_speedup`.
     pub evaluations_by_outer: Vec<usize>,
+    /// Accepted accelerated-Θ-update step size at exit (`0.0` under the
+    /// fixed-step Θ-update, which carries no step history).
+    pub final_step: f64,
+    /// Whether the solve stopped on the [`PlateauStop`] criterion (implies
+    /// `converged`; residual stopping had not yet fired).
+    pub plateau_stopped: bool,
+}
+
+impl AdmmResult {
+    /// Package this solve's exit state for seeding a follow-up solve via
+    /// [`solve_group_lasso_warm`].
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart {
+            theta: self.theta.clone(),
+            y: self.y.clone(),
+            rho: self.final_rho,
+            step: self.final_step,
+        }
+    }
 }
 
 /// `0.5 · ρ · ‖Θ − X + Y‖²_F`, the augmented penalty value.
@@ -313,15 +493,62 @@ impl SolveWorkspace {
     }
 }
 
-/// Run ADMM with group-lasso regularisation starting from `theta0`.
+/// Run ADMM with group-lasso regularisation starting from `theta0` (cold
+/// start: zero dual, configured ρ, fresh step size).
 pub fn solve_group_lasso<O: SmoothObjective>(
     objective: &O,
     theta0: Matrix,
     config: &AdmmConfig,
 ) -> AdmmResult {
+    let (rows, cols) = objective.shape();
+    solve_impl(
+        objective,
+        theta0,
+        Matrix::zeros(rows, cols),
+        config.rho,
+        0.0,
+        config,
+    )
+}
+
+/// Run ADMM seeded from a previous solve's exit state ([`WarmStart`]).
+///
+/// The iterate Θ, scaled dual Y, penalty weight ρ and accepted step size all
+/// come from `warm`; everything else (γ, tolerances, caps) comes from
+/// `config`.  The stopping criteria are unchanged, so the solve converges to
+/// the same tolerance as a cold start — it just starts closer.  Returns a
+/// typed [`WarmStartError`] (never panics) when the carried state does not
+/// fit the objective.
+pub fn solve_group_lasso_warm<O: SmoothObjective>(
+    objective: &O,
+    config: &AdmmConfig,
+    warm: &WarmStart,
+) -> Result<AdmmResult, WarmStartError> {
+    warm.validate(objective.shape())?;
+    Ok(solve_impl(
+        objective,
+        warm.theta.clone(),
+        warm.y.clone(),
+        warm.rho,
+        warm.step,
+        config,
+    ))
+}
+
+/// Shared driver behind [`solve_group_lasso`] / [`solve_group_lasso_warm`]:
+/// the cold path passes (zero dual, `config.rho`, step `0.0`), which is
+/// bitwise the pre-warm-start initialisation.
+fn solve_impl<O: SmoothObjective>(
+    objective: &O,
+    theta0: Matrix,
+    y0: Matrix,
+    rho0: f64,
+    step0: f64,
+    config: &AdmmConfig,
+) -> AdmmResult {
     assert_eq!(theta0.shape(), objective.shape(), "theta0 shape mismatch");
     assert!(config.gamma >= 0.0, "gamma must be non-negative");
-    assert!(config.rho > 0.0, "rho must be positive");
+    assert!(rho0 > 0.0, "rho must be positive");
     assert!(
         config.over_relaxation >= 1.0 && config.over_relaxation < 2.0,
         "over_relaxation must be in [1, 2)"
@@ -329,10 +556,10 @@ pub fn solve_group_lasso<O: SmoothObjective>(
 
     let (rows, cols) = objective.shape();
     let sqrt_n = ((rows * cols) as f64).sqrt();
-    let mut rho = config.rho;
+    let mut rho = rho0;
     let mut theta = theta0;
     let mut x = theta.clone();
-    let mut y = Matrix::zeros(rows, cols);
+    let mut y = y0;
     let mut grad = Matrix::zeros(rows, cols);
 
     let mut evaluations = 1usize;
@@ -353,12 +580,16 @@ pub fn solve_group_lasso<O: SmoothObjective>(
     let mut caps = curvature.as_deref().map(|ls| caps_for_rho(ls, rho));
 
     let mut ls_state = match &config.theta_update {
-        ThetaUpdate::Accelerated { config: acc } => AcceleratedState::new(acc),
+        // `with_step(0.0, ..)` falls back to the configured initial step, so
+        // the cold path is unchanged and fixed-step-emitted warm starts
+        // degrade gracefully instead of stalling the line search.
+        ThetaUpdate::Accelerated { config: acc } => AcceleratedState::with_step(step0, acc),
         ThetaUpdate::FixedStep { .. } => AcceleratedState { step: 0.0 },
     };
     let residual_stopping = config.eps_abs > 0.0 || config.eps_rel > 0.0;
 
     let mut converged = false;
+    let mut plateau_stopped = false;
     let mut outer_done = 0;
     let mut inner_total = 0usize;
     let mut primal_residual = f64::INFINITY;
@@ -528,8 +759,12 @@ pub fn solve_group_lasso<O: SmoothObjective>(
             residual_stopping && primal_residual <= eps_pri && dual_residual <= eps_dual;
         let relchange_ok = config.tolerance > 0.0
             && theta.relative_change(&ws.theta_prev_outer) < config.tolerance;
-        if residual_ok || relchange_ok {
+        let plateau_ok = config.plateau.is_some_and(|p| p.fires(&trace));
+        if residual_ok || relchange_ok || plateau_ok {
             converged = true;
+            // A plateau stop is only reported when the principled criteria
+            // had not fired on the same outer iteration.
+            plateau_stopped = plateau_ok && !residual_ok && !relchange_ok;
             break;
         }
 
@@ -552,6 +787,7 @@ pub fn solve_group_lasso<O: SmoothObjective>(
     AdmmResult {
         theta,
         x,
+        y,
         objective_trace: trace,
         outer_iterations: outer_done,
         converged,
@@ -561,6 +797,8 @@ pub fn solve_group_lasso<O: SmoothObjective>(
         inner_iterations: inner_total,
         evaluations,
         evaluations_by_outer,
+        final_step: ls_state.step,
+        plateau_stopped,
     }
 }
 
@@ -936,5 +1174,175 @@ mod tests {
             ..adaptive_config(0.1)
         };
         let _ = solve_group_lasso(&obj, Matrix::zeros(1, 1), &cfg);
+    }
+
+    #[test]
+    fn warm_start_captures_the_exit_state() {
+        let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
+        let obj = QuadraticToTarget { target };
+        let res = solve_group_lasso(&obj, Matrix::zeros(3, 2), &adaptive_config(0.1));
+        let warm = res.warm_start();
+        assert_eq!(warm.theta, res.theta);
+        assert_eq!(warm.y, res.y);
+        assert_eq!(warm.rho.to_bits(), res.final_rho.to_bits());
+        assert_eq!(warm.step.to_bits(), res.final_step.to_bits());
+        assert!(warm.step > 0.0, "accelerated solve must carry a step");
+        assert!(warm.validate(obj.shape()).is_ok());
+    }
+
+    #[test]
+    fn warm_started_solve_matches_cold_objective_with_fewer_evaluations() {
+        let target = Matrix::from_vec(4, 3, (0..12).map(|i| 1.0 + i as f64 / 4.0).collect());
+        let obj = QuadraticToTarget { target };
+        let cfg = adaptive_config(0.2);
+        let cold = solve_group_lasso(&obj, Matrix::zeros(4, 3), &cfg);
+        // Re-solve the *same* problem from the previous exit state: the
+        // stopping criteria are iterate properties, so the final objective
+        // must agree, and the solve must be much cheaper.
+        let warm = solve_group_lasso_warm(&obj, &cfg, &cold.warm_start()).unwrap();
+        let cold_final = *cold.objective_trace.last().unwrap();
+        let warm_final = *warm.objective_trace.last().unwrap();
+        assert!(
+            (warm_final - cold_final).abs() <= 1e-6,
+            "warm {warm_final} vs cold {cold_final}"
+        );
+        assert!(
+            warm.evaluations < cold.evaluations,
+            "warm {} !< cold {}",
+            warm.evaluations,
+            cold.evaluations
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_start_is_a_typed_error_not_a_panic() {
+        let obj = QuadraticToTarget {
+            target: Matrix::zeros(3, 2),
+        };
+        let warm = WarmStart {
+            theta: Matrix::zeros(2, 2),
+            y: Matrix::zeros(2, 2),
+            rho: 1.0,
+            step: 0.5,
+        };
+        let err = solve_group_lasso_warm(&obj, &AdmmConfig::default(), &warm).unwrap_err();
+        assert_eq!(
+            err,
+            WarmStartError::ShapeMismatch {
+                field: "theta",
+                expected: (3, 2),
+                got: (2, 2),
+            }
+        );
+        // Display is implemented (callers surface this to users).
+        assert!(err.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn invalid_rho_and_nonfinite_state_are_rejected() {
+        let shape = (2, 2);
+        let good = WarmStart {
+            theta: Matrix::zeros(2, 2),
+            y: Matrix::zeros(2, 2),
+            rho: 1.0,
+            step: 0.0,
+        };
+        assert!(good.validate(shape).is_ok());
+        let bad_rho = WarmStart {
+            rho: 0.0,
+            ..good.clone()
+        };
+        assert_eq!(
+            bad_rho.validate(shape),
+            Err(WarmStartError::InvalidRho(0.0))
+        );
+        let bad_step = WarmStart {
+            step: -1.0,
+            ..good.clone()
+        };
+        assert_eq!(
+            bad_step.validate(shape),
+            Err(WarmStartError::InvalidStep(-1.0))
+        );
+        let mut nan_theta = good.clone();
+        nan_theta.theta.set(0, 0, f64::NAN);
+        assert_eq!(
+            nan_theta.validate(shape),
+            Err(WarmStartError::NonFinite { field: "theta" })
+        );
+    }
+
+    #[test]
+    fn fixed_step_warm_start_falls_back_to_the_initial_step() {
+        // A warm start recorded from a fixed-step solve carries step == 0.0;
+        // consuming it with the accelerated Θ-update must not stall the line
+        // search (with_step falls back to the configured initial step).
+        let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
+        let obj = QuadraticToTarget { target };
+        let fixed = solve_group_lasso(&obj, Matrix::zeros(3, 2), &legacy_config(0.1));
+        assert_eq!(fixed.final_step, 0.0);
+        let res = solve_group_lasso_warm(&obj, &adaptive_config(0.1), &fixed.warm_start()).unwrap();
+        assert!(res.converged);
+        assert!(res.final_step > 0.0);
+    }
+
+    #[test]
+    fn plateau_stop_fires_in_the_weakly_determined_regime() {
+        // Tiny γ and brutal residual tolerances: residual stopping cannot
+        // fire within the cap, but the objective flattens quickly — the
+        // plateau criterion is exactly for this regime.
+        let target = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.0, 3.0, 1.0]);
+        let base = AdmmConfig {
+            eps_abs: 1e-300,
+            eps_rel: 0.0,
+            max_outer_iters: 200,
+            ..adaptive_config(1e-6)
+        };
+        let counting_off = CountingObjective::new(QuadraticToTarget {
+            target: target.clone(),
+        });
+        let off = solve_group_lasso(&counting_off, Matrix::zeros(3, 2), &base);
+        assert!(!off.plateau_stopped);
+
+        let counting_on = CountingObjective::new(QuadraticToTarget { target });
+        let cfg_on = AdmmConfig {
+            plateau: Some(PlateauStop::default()),
+            ..base
+        };
+        let on = solve_group_lasso(&counting_on, Matrix::zeros(3, 2), &cfg_on);
+        assert!(on.converged, "plateau stop must count as convergence");
+        assert!(on.plateau_stopped);
+        assert!(
+            on.outer_iterations < off.outer_iterations,
+            "plateau {} !< no-plateau {}",
+            on.outer_iterations,
+            off.outer_iterations
+        );
+        // The saving is real objective passes, and accounting stays exact.
+        assert!(counting_on.fused_calls.get() < counting_off.fused_calls.get());
+        assert_eq!(on.evaluations, counting_on.fused_calls.get());
+        // Near-identical objective: the window only tolerates rel_tol slack.
+        let off_final = *off.objective_trace.last().unwrap();
+        let on_final = *on.objective_trace.last().unwrap();
+        assert!(
+            (on_final - off_final).abs() <= 1e-3 * off_final.abs().max(1.0),
+            "plateau {on_final} vs full {off_final}"
+        );
+    }
+
+    #[test]
+    fn plateau_window_zero_never_fires() {
+        let p = PlateauStop {
+            window: 0,
+            rel_tol: 1.0,
+        };
+        assert!(!p.fires(&[1.0, 1.0, 1.0, 1.0]));
+        let p5 = PlateauStop::default();
+        // Too-short trace: never fires.
+        assert!(!p5.fires(&[1.0; 5]));
+        // Flat 6-entry trace: fires.
+        assert!(p5.fires(&[1.0; 6]));
+        // Still improving by more than rel_tol·|past|: does not fire.
+        assert!(!p5.fires(&[2.0, 1.8, 1.6, 1.4, 1.2, 1.0]));
     }
 }

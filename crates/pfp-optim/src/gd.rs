@@ -159,6 +159,21 @@ impl AcceleratedState {
             step: config.initial_step,
         }
     }
+
+    /// State carrying an already-learned step size (e.g. from a previous
+    /// solve's [`AcceleratedState`], re-imported through an ADMM warm start).
+    /// A non-positive `step` falls back to the configured initial step, so a
+    /// warm start recorded from a solver without step history (the fixed-step
+    /// Θ-update) degrades to a cold line search instead of stalling.
+    pub fn with_step(step: f64, config: &AcceleratedConfig) -> Self {
+        Self {
+            step: if step > 0.0 {
+                step
+            } else {
+                config.initial_step
+            },
+        }
+    }
 }
 
 /// Per-solve scratch buffers of [`minimize_matrix_accelerated`]: the six

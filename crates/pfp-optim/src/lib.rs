@@ -16,10 +16,19 @@
 //! Nesterov-accelerated Armijo line-search Θ-update
 //! ([`gd::minimize_matrix_accelerated`]).  The legacy fixed-schedule solver
 //! is still available via [`AdmmConfig::fixed_budget`] for baselines.
+//!
+//! Sequences of related solves (CV folds, γ-continuation sweeps, rolling
+//! retrains) chain state through [`WarmStart`] /
+//! [`admm::solve_group_lasso_warm`]: the previous solve's (Θ, Y, ρ, step) is
+//! a good prediction of the next solution and cuts passes-to-tolerance
+//! without changing what the solver converges to.
 
 pub mod admm;
 pub mod gd;
 pub mod prox;
 
-pub use admm::{AdaptiveRho, AdmmConfig, AdmmResult, SmoothObjective, ThetaUpdate};
+pub use admm::{
+    AdaptiveRho, AdmmConfig, AdmmResult, PlateauStop, SmoothObjective, ThetaUpdate, WarmStart,
+    WarmStartError,
+};
 pub use gd::{AcceleratedConfig, AcceleratedState, AcceleratedStats, LearningRate};
