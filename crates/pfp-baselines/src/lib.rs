@@ -34,7 +34,7 @@ pub mod var;
 pub use ctmc::CtmcPredictor;
 pub use hawkes_baseline::HawkesPredictor;
 pub use logistic::LogisticPredictor;
-pub use markov::MarkovPredictor;
+pub use markov::{MarkovFallback, MarkovPredictor};
 pub use pp_discriminative::{ModulatedPoissonPredictor, SelfCorrectingPredictor};
 pub use predictor::{DmcpPredictor, FlowPredictor, MethodId, Prediction};
 pub use var::VarPredictor;

@@ -68,6 +68,11 @@ impl MarkovChain {
     pub fn num_states(&self) -> usize {
         self.num_states
     }
+
+    /// The marginal (stationary-fallback) state distribution.
+    pub fn marginal(&self) -> &[f64] {
+        &self.marginal
+    }
 }
 
 /// The MC baseline: independent chains for destinations and durations.
@@ -106,6 +111,66 @@ impl MarkovPredictor {
     /// The destination-CU chain.
     pub fn cu_chain(&self) -> &MarkovChain {
         &self.cu_chain
+    }
+
+    /// The duration-class chain.
+    pub fn duration_chain(&self) -> &MarkovChain {
+        &self.duration_chain
+    }
+
+    /// Package this predictor's marginals as a serving-path fallback.
+    pub fn to_fallback(&self) -> MarkovFallback {
+        MarkovFallback::new(self)
+    }
+}
+
+/// The O(1) degraded-mode scorer for `pfp-serve`: while the DMCP scoring
+/// pool is unhealthy, every request is answered with the Markov chains'
+/// *marginal* distributions — the strongest history-free answer the MC
+/// baseline can give without per-request state, and trivially allocation-
+/// bounded (two `Vec` clones, no matrix work).  Responses carry the
+/// `degraded` tag so callers can tell them from DMCP answers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovFallback {
+    cu_marginal: Vec<f64>,
+    duration_marginal: Vec<f64>,
+}
+
+impl MarkovFallback {
+    /// Capture the marginals of a trained [`MarkovPredictor`].
+    pub fn new(predictor: &MarkovPredictor) -> Self {
+        Self {
+            cu_marginal: predictor.cu_chain().marginal().to_vec(),
+            duration_marginal: predictor.duration_chain().marginal().to_vec(),
+        }
+    }
+
+    /// Build directly from marginal distributions (each must be a non-empty
+    /// probability vector; used by tests and by services that persist the
+    /// fallback separately from the full predictor).
+    pub fn from_marginals(cu_marginal: Vec<f64>, duration_marginal: Vec<f64>) -> Self {
+        for (name, dist) in [("cu", &cu_marginal), ("duration", &duration_marginal)] {
+            assert!(!dist.is_empty(), "{name} marginal must be non-empty");
+            let sum: f64 = dist.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{name} marginal must sum to 1, got {sum}"
+            );
+        }
+        Self {
+            cu_marginal,
+            duration_marginal,
+        }
+    }
+}
+
+impl pfp_serve::FallbackPredictor for MarkovFallback {
+    fn dims(&self) -> (usize, usize) {
+        (self.cu_marginal.len(), self.duration_marginal.len())
+    }
+
+    fn probabilities(&self, _features: &pfp_math::SparseVec) -> (Vec<f64>, Vec<f64>) {
+        (self.cu_marginal.clone(), self.duration_marginal.clone())
     }
 }
 
@@ -169,5 +234,30 @@ mod tests {
     #[should_panic(expected = "state out of range")]
     fn fit_rejects_out_of_range_states() {
         let _ = MarkovChain::fit(&[(0, 5)], &[], 3);
+    }
+
+    #[test]
+    fn fallback_answers_with_the_marginals_feature_independently() {
+        use pfp_serve::FallbackPredictor as _;
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::small(61)));
+        let mc = MarkovPredictor::train(&ds);
+        let fb = mc.to_fallback();
+        assert_eq!(fb.dims(), (ds.num_cus, ds.num_durations));
+        let (cu, dur) = fb.probabilities(&pfp_math::SparseVec::binary(9, vec![0]));
+        assert_eq!(cu, mc.cu_chain().marginal());
+        assert_eq!(dur, mc.duration_chain().marginal());
+        assert!((cu.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((dur.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Feature-independent: a different request gets the same answer.
+        assert_eq!(
+            fb.probabilities(&pfp_math::SparseVec::binary(3, vec![2])).0,
+            cu
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn from_marginals_rejects_unnormalised_distributions() {
+        let _ = MarkovFallback::from_marginals(vec![0.5, 0.2], vec![1.0]);
     }
 }

@@ -17,27 +17,33 @@
 //!    *sustained* when achieved throughput ≥ 95% of target with zero
 //!    errors; the ramp stops at the first unsustained step).  Per step:
 //!    p50/p99/max latency and achieved RPS.
-//! 3. **Fault injection** — on a fresh 2-worker service: healthy requests,
-//!    then kill both scoring workers and assert every subsequent request
-//!    degrades to a per-request error while the process stays alive.
+//! 3. **Fault injection & recovery** — on a fresh 2-worker service: healthy
+//!    requests, then kill both scoring workers and assert the supervisor
+//!    heals the pool: after a bounded window of typed per-request errors the
+//!    service returns to bitwise-correct answers at full pool strength.
+//!    (The dedicated `repro_chaos` harness runs the full fault schedule;
+//!    this is the ramp's smoke version.)
 //! 4. **Machine-readable record** — everything above to `BENCH_serve.json`.
+//!
+//! Shared flags (`--scale`, `--seed`, `--fast`, `--threads`) come from
+//! `pfp_bench::cli`; the ramp-specific flags are declared as extras through
+//! the same parser, so typos are rejected either way.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pfp_bench::cli::{Args, ExtraArgs};
 use pfp_bench::render_table;
 use pfp_core::{Dataset, DmcpModel, TrainConfig};
-use pfp_ehr::{generate_cohort, CohortConfig};
+use pfp_ehr::generate_cohort;
 use pfp_math::{CsrMatrix, SparseVec};
 use pfp_serve::{PredictionService, ServeConfig, ServeError};
 
-/// Flags for the ramp harness.  `pfp_bench::Args` rejects unknown flags by
-/// design, so the harness (which needs many of its own) parses separately.
+/// Ramp-specific flags, layered over the shared [`Args`].
 #[derive(Debug, Clone, PartialEq)]
 struct RampArgs {
-    scale: f64,
-    seed: u64,
+    base: Args,
     initial_rps: f64,
     increment_rps: f64,
     target_rps: f64,
@@ -45,69 +51,30 @@ struct RampArgs {
     clients: usize,
     max_batch: usize,
     max_wait_us: u64,
-    threads: usize,
 }
 
-impl Default for RampArgs {
-    fn default() -> Self {
-        RampArgs {
-            scale: 0.02,
-            seed: 7,
-            initial_rps: 200.0,
-            increment_rps: 200.0,
-            target_rps: 2000.0,
-            step_secs: 2.0,
-            clients: 4,
-            max_batch: 64,
-            max_wait_us: 200,
-            threads: 1,
-        }
-    }
-}
+const RAMP_VALUE_FLAGS: &[&str] = &[
+    "--initial-rps",
+    "--increment-rps",
+    "--target-rps",
+    "--step-secs",
+    "--clients",
+    "--max-batch",
+    "--max-wait-us",
+];
 
 impl RampArgs {
-    fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut out = RampArgs::default();
-        let mut iter = args.into_iter();
-        let value = |flag: &str, iter: &mut I::IntoIter| -> String {
-            iter.next()
-                .unwrap_or_else(|| panic!("{flag} requires a value"))
+    fn from_parsed(base: Args, extras: &ExtraArgs) -> Self {
+        let out = RampArgs {
+            base,
+            initial_rps: extras.get_or("--initial-rps", 200.0),
+            increment_rps: extras.get_or("--increment-rps", 200.0),
+            target_rps: extras.get_or("--target-rps", 2000.0),
+            step_secs: extras.get_or("--step-secs", 2.0),
+            clients: extras.get_or("--clients", 4),
+            max_batch: extras.get_or("--max-batch", 64),
+            max_wait_us: extras.get_or("--max-wait-us", 200),
         };
-        while let Some(arg) = iter.next() {
-            match arg.as_str() {
-                "--scale" => out.scale = value("--scale", &mut iter).parse().expect("float"),
-                "--seed" => out.seed = value("--seed", &mut iter).parse().expect("integer"),
-                "--initial-rps" => {
-                    out.initial_rps = value("--initial-rps", &mut iter).parse().expect("float")
-                }
-                "--increment-rps" => {
-                    out.increment_rps = value("--increment-rps", &mut iter).parse().expect("float")
-                }
-                "--target-rps" => {
-                    out.target_rps = value("--target-rps", &mut iter).parse().expect("float")
-                }
-                "--step-secs" => {
-                    out.step_secs = value("--step-secs", &mut iter).parse().expect("float")
-                }
-                "--clients" => {
-                    out.clients = value("--clients", &mut iter).parse().expect("integer")
-                }
-                "--max-batch" => {
-                    out.max_batch = value("--max-batch", &mut iter).parse().expect("integer")
-                }
-                "--max-wait-us" => {
-                    out.max_wait_us = value("--max-wait-us", &mut iter).parse().expect("integer")
-                }
-                "--threads" => {
-                    out.threads = value("--threads", &mut iter).parse().expect("integer")
-                }
-                other => panic!(
-                    "unknown argument: {other} (expected --scale, --seed, --initial-rps, \
-                     --increment-rps, --target-rps, --step-secs, --clients, --max-batch, \
-                     --max-wait-us, --threads)"
-                ),
-            }
-        }
         assert!(out.initial_rps > 0.0, "--initial-rps must be positive");
         assert!(out.increment_rps > 0.0, "--increment-rps must be positive");
         assert!(
@@ -119,11 +86,17 @@ impl RampArgs {
         out
     }
 
+    fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let (base, extras) = Args::parse_from_with_extras(args, RAMP_VALUE_FLAGS, &[]);
+        Self::from_parsed(base, &extras)
+    }
+
     fn serve_config(&self) -> ServeConfig {
         ServeConfig {
             max_batch: self.max_batch,
             max_wait: Duration::from_micros(self.max_wait_us),
-            threads: self.threads,
+            threads: self.base.threads,
+            ..ServeConfig::default()
         }
     }
 }
@@ -242,14 +215,14 @@ fn main() {
     let available = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // --- Model: train fast on a small synthetic cohort. ---
-    let cohort = generate_cohort(&CohortConfig::scaled(args.scale, args.seed));
+    let cohort = generate_cohort(&args.base.cohort_config());
     let dataset = Dataset::from_cohort(&cohort);
     let kind = dataset.default_mcp_kind();
     let samples = dataset.featurize(kind);
     assert!(!samples.is_empty(), "cohort produced no serving requests");
     let mut train_config = TrainConfig::fast();
-    train_config.seed = args.seed;
-    train_config.threads = args.threads;
+    train_config.seed = args.base.seed;
+    train_config.threads = args.base.threads;
     let model = DmcpModel::train(&dataset, &train_config);
     let features = model.num_features();
     let outputs = model.num_cus + model.num_durations;
@@ -262,7 +235,7 @@ fn main() {
          host parallelism = {available}\n",
         cohort.patients.len(),
         requests.len(),
-        args.threads,
+        args.base.threads,
         args.clients,
         args.max_batch,
         args.max_wait_us,
@@ -326,9 +299,9 @@ fn main() {
     print!("{}", render_table(&header, &table));
     println!("\nMax sustained: {max_sustained_rps:.0} rps (p50 {best_p50}µs, p99 {best_p99}µs).\n");
 
-    // --- 3. Fault injection: worker death must degrade, not abort. ---
+    // --- 3. Fault injection: worker death must heal, not degrade forever. ---
     let fault_service = PredictionService::start(
-        model,
+        model.clone(),
         ServeConfig {
             threads: 2,
             ..args.serve_config()
@@ -346,23 +319,63 @@ fn main() {
     }
     assert_eq!(pre_kill_ok, 25, "healthy service must answer every request");
     // Kill both scoring workers.  The poison jobs are queued ahead of any
-    // later scoring job, so every subsequent request deterministically gets
-    // a typed pool error instead of the process aborting.
+    // later scoring job, so the next batch fails with a typed pool error —
+    // and then the supervisor respawns the workers, so within a bounded
+    // error window the service is answering (bitwise-correctly) again.
     fault_service.inject_worker_failure();
     fault_service.inject_worker_failure();
-    let mut post_kill_errors = 0usize;
-    for i in 0..25 {
+    let mut recovery_errors = 0usize;
+    let mut recovered = false;
+    for i in 0..500 {
         match fault_client.predict(requests[i % requests.len()].clone()) {
-            Err(ServeError::Pool(_)) => post_kill_errors += 1,
-            Ok(_) => panic!("request succeeded after every scoring worker was killed"),
-            Err(other) => panic!("expected a pool error, got {other:?}"),
+            Ok(_) => {
+                recovered = true;
+                break;
+            }
+            Err(ServeError::Pool(_)) => recovery_errors += 1,
+            Err(other) => panic!("expected a pool error while healing, got {other:?}"),
         }
     }
-    assert_eq!(post_kill_errors, 25);
+    assert!(
+        recovered,
+        "service never recovered after kill-all ({recovery_errors} errors)"
+    );
+    // The first Ok can arrive while the second respawn is still in a backoff
+    // window (a single respawned worker covers the whole batch), so drive
+    // batches until the pool is back to full strength before the strict
+    // bitwise phase below.
+    for _ in 0..500 {
+        if fault_service.health().is_full() {
+            break;
+        }
+        let _ = fault_client.predict(requests[0].clone());
+    }
+    // Post-recovery answers are the DMCP model's, bitwise.
+    let mut post_recovery_ok = 0usize;
+    for i in 0..25 {
+        let features = requests[i % requests.len()].clone();
+        let expected = model.probabilities(&features);
+        let prediction = fault_client
+            .predict(features)
+            .expect("post-recovery request failed");
+        assert_eq!(
+            prediction.cu_probs, expected.0,
+            "wrong answer post-recovery"
+        );
+        assert_eq!(prediction.duration_probs, expected.1);
+        assert!(!prediction.degraded);
+        post_recovery_ok += 1;
+    }
+    let health = fault_service.health();
+    assert!(
+        health.is_full(),
+        "pool not back to full strength: {health:?}"
+    );
     fault_service.shutdown();
     println!(
         "Fault injection: 25/25 healthy answers, then both workers killed → \
-         25/25 typed per-request errors, service alive throughout.\n"
+         {recovery_errors} typed errors while the supervisor healed, then \
+         {post_recovery_ok}/25 bitwise-correct answers at full pool strength.\n"
     );
 
     // --- 4. Machine-readable record. ---
@@ -395,10 +408,11 @@ fn main() {
          \"max_sustained_rps\": {max_sustained_rps:.1},\n  \
          \"p50_us\": {best_p50},\n  \"p99_us\": {best_p99},\n  \
          \"fault_injection\": {{\"pre_kill_ok\": {pre_kill_ok}, \
-         \"post_kill_errors\": {post_kill_errors}, \"service_survived\": true}}\n}}\n",
+         \"recovery_error_window\": {recovery_errors}, \"recovered\": {recovered}, \
+         \"post_recovery_ok\": {post_recovery_ok}, \"service_survived\": true}}\n}}\n",
         cohort.patients.len(),
         requests.len(),
-        args.threads,
+        args.base.threads,
         args.clients,
         args.max_batch,
         args.max_wait_us,
@@ -418,11 +432,16 @@ mod tests {
 
     #[test]
     fn defaults_apply_with_no_arguments() {
-        assert_eq!(RampArgs::parse_from(strings(&[])), RampArgs::default());
+        let a = RampArgs::parse_from(strings(&[]));
+        assert_eq!(a.base, Args::default());
+        assert_eq!(a.initial_rps, 200.0);
+        assert_eq!(a.target_rps, 2000.0);
+        assert_eq!(a.clients, 4);
+        assert_eq!(a.max_batch, 64);
     }
 
     #[test]
-    fn ramp_flags_are_parsed() {
+    fn ramp_flags_are_parsed_through_the_shared_parser() {
         let a = RampArgs::parse_from(strings(&[
             "--initial-rps",
             "50",
@@ -452,9 +471,11 @@ mod tests {
         assert_eq!(a.clients, 2);
         assert_eq!(a.max_batch, 8);
         assert_eq!(a.max_wait_us, 100);
-        assert_eq!(a.threads, 2);
-        assert_eq!(a.seed, 3);
+        assert_eq!(a.base.threads, 2);
+        assert_eq!(a.base.seed, 3);
+        assert!((a.base.scale - 0.01).abs() < 1e-12);
         assert_eq!(a.serve_config().max_wait, Duration::from_micros(100));
+        assert_eq!(a.serve_config().threads, 2);
     }
 
     #[test]

@@ -41,13 +41,59 @@ impl Default for Args {
     }
 }
 
+/// Binary-specific flags collected alongside the shared [`Args`] by
+/// [`Args::parse_from_with_extras`].  A binary declares its extra flag names
+/// up front, so typos are still rejected instead of silently ignored, and
+/// reads the values back with typed accessors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtraArgs {
+    values: std::collections::BTreeMap<String, String>,
+    flags: std::collections::BTreeSet<String>,
+}
+
+impl ExtraArgs {
+    /// The parsed value of a declared value flag (e.g. `"--clients"`), if it
+    /// was given.  Panics on an unparseable value — same fail-loud policy as
+    /// the shared flags.
+    pub fn get<T: std::str::FromStr>(&self, flag: &str) -> Option<T> {
+        self.values.get(flag).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} got unparseable value {v:?}"))
+        })
+    }
+
+    /// [`get`](Self::get) with a default for absent flags.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        self.get(flag).unwrap_or(default)
+    }
+
+    /// Whether a declared boolean flag was given.
+    pub fn flag(&self, flag: &str) -> bool {
+        self.flags.contains(flag)
+    }
+}
+
 impl Args {
     /// Parse from an iterator of argument strings (excluding the program name).
     ///
     /// Unknown flags are rejected with a panic so typos don't silently run the
     /// default experiment.
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Self::parse_from_with_extras(args, &[], &[]).0
+    }
+
+    /// [`parse_from`](Self::parse_from) plus binary-specific flags: the
+    /// caller declares its extra `--flag <value>` names in `value_flags` and
+    /// its extra boolean `--flag` names in `bool_flags`.  Shared flags are
+    /// parsed as usual; declared extras land in the returned [`ExtraArgs`];
+    /// anything else still panics, listing every accepted flag.
+    pub fn parse_from_with_extras<I: IntoIterator<Item = String>>(
+        args: I,
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> (Self, ExtraArgs) {
         let mut out = Args::default();
+        let mut extras = ExtraArgs::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -68,12 +114,29 @@ impl Args {
                     let v = iter.next().expect("--threads requires a value");
                     out.threads = v.parse().expect("--threads must be an integer");
                 }
-                other => panic!(
-                    "unknown argument: {other} (expected --scale, --seed, --fast, --threads)"
-                ),
+                other if value_flags.contains(&other) => {
+                    let v = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("{other} requires a value"));
+                    extras.values.insert(other.to_string(), v);
+                }
+                other if bool_flags.contains(&other) => {
+                    extras.flags.insert(other.to_string());
+                }
+                other => {
+                    let mut known: Vec<&str> = vec!["--scale", "--seed", "--fast", "--threads"];
+                    known.extend(value_flags);
+                    known.extend(bool_flags);
+                    panic!("unknown argument: {other} (expected {})", known.join(", "));
+                }
             }
         }
-        out
+        (out, extras)
+    }
+
+    /// Parse the process arguments with binary-specific extras declared.
+    pub fn parse_with_extras(value_flags: &[&str], bool_flags: &[&str]) -> (Self, ExtraArgs) {
+        Self::parse_from_with_extras(std::env::args().skip(1), value_flags, bool_flags)
     }
 
     /// The resolved worker-thread count (`--threads 0` → all available).
@@ -167,5 +230,42 @@ mod tests {
         let a = Args::parse_from(strings(&["--scale", "0.01"]));
         let c = a.cohort_config();
         assert!(c.num_patients < 1000);
+    }
+
+    #[test]
+    fn declared_extras_are_collected_with_shared_flags() {
+        let (a, extras) = Args::parse_from_with_extras(
+            strings(&[
+                "--seed",
+                "9",
+                "--clients",
+                "3",
+                "--rps",
+                "250.5",
+                "--verbose",
+            ]),
+            &["--clients", "--rps"],
+            &["--verbose"],
+        );
+        assert_eq!(a.seed, 9);
+        assert_eq!(extras.get::<usize>("--clients"), Some(3));
+        assert_eq!(extras.get_or("--rps", 100.0), 250.5);
+        assert_eq!(extras.get_or("--absent", 7u64), 7);
+        assert!(extras.flag("--verbose"));
+        assert!(!extras.flag("--quiet"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument: --bogus")]
+    fn undeclared_extras_are_still_rejected() {
+        let _ = Args::parse_from_with_extras(strings(&["--bogus"]), &["--clients"], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unparseable value")]
+    fn extras_fail_loud_on_bad_values() {
+        let (_, extras) =
+            Args::parse_from_with_extras(strings(&["--clients", "many"]), &["--clients"], &[]);
+        let _ = extras.get::<usize>("--clients");
     }
 }

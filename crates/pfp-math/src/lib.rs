@@ -23,6 +23,9 @@
 //! * [`parallel`] — deterministic sample sharding, fixed-order tree
 //!   reduction, and a persistent [`parallel::WorkerPool`] for parallel
 //!   gradient accumulation without per-evaluation thread spawns.
+//! * [`supervise`] — self-healing layer over the worker pool: lost-worker
+//!   detection, capped exponential-backoff respawn with seeded jitter, and
+//!   [`supervise::PoolHealth`] snapshots for serving-path admission control.
 //!
 //! ## Example
 //!
@@ -47,8 +50,10 @@ pub mod rng;
 pub mod softmax;
 pub mod sparse;
 pub mod stats;
+pub mod supervise;
 
 pub use csr::CsrMatrix;
 pub use dense::Matrix;
 pub use parallel::{PoolError, WorkerPool};
 pub use sparse::SparseVec;
+pub use supervise::{BackoffConfig, PoolHealth, Supervisor};

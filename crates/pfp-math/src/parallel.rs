@@ -27,8 +27,8 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 
 use crate::dense::Matrix;
@@ -171,6 +171,12 @@ impl std::error::Error for PoolError {}
 pub struct WorkerPool {
     /// `None` for the workerless (serial) pool.
     job_tx: Option<Sender<Job>>,
+    /// Weak handle on the shared job receiver.  Workers hold the strong
+    /// references, so the receiver still dies with the last worker (keeping
+    /// the `ShutDown` semantics of a fully-dead pool), but
+    /// [`respawn_workers`](Self::respawn_workers) can upgrade this to attach
+    /// replacement workers to the surviving queue.
+    job_rx: Weak<Mutex<Receiver<Job>>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -182,31 +188,87 @@ impl WorkerPool {
         if threads <= 1 {
             return Self {
                 job_tx: None,
+                job_rx: Weak::new(),
                 workers: Vec::new(),
             };
         }
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let workers = (0..threads)
-            .map(|_| {
-                let job_rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || loop {
-                    // Hold the lock only while dequeuing, never while running.
-                    let job = match job_rx.lock() {
-                        Ok(rx) => rx.recv(),
-                        Err(_) => break, // lock poisoned: pool is shutting down
-                    };
-                    match job {
-                        Ok(job) => job(),
-                        Err(_) => break, // channel closed: pool dropped
-                    }
-                })
-            })
+            .map(|_| Self::spawn_worker(Arc::clone(&job_rx)))
             .collect();
         Self {
             job_tx: Some(job_tx),
+            job_rx: Arc::downgrade(&job_rx),
             workers,
         }
+    }
+
+    fn spawn_worker(job_rx: Arc<Mutex<Receiver<Job>>>) -> JoinHandle<()> {
+        std::thread::spawn(move || loop {
+            // Hold the lock only while dequeuing, never while running.
+            let job = match job_rx.lock() {
+                Ok(rx) => rx.recv(),
+                Err(_) => break, // lock poisoned: pool is shutting down
+            };
+            match job {
+                Ok(job) => job(),
+                Err(_) => break, // channel closed: pool dropped
+            }
+        })
+    }
+
+    /// Replace every dead worker thread with a freshly spawned one, returning
+    /// how many were respawned (`0` when nothing was lost, and always `0` on
+    /// a serial pool).
+    ///
+    /// If at least one worker survived, replacements attach to the existing
+    /// job queue.  If *every* worker died, the old queue (and any jobs
+    /// destroyed with it — their submitters already saw a [`PoolError`]) is
+    /// gone, so a fresh channel is built and the pool comes back at full
+    /// strength.  Either way [`workers`](Self::workers) is unchanged: the
+    /// pool's configured width is an invariant.
+    ///
+    /// This is the mechanical half of recovery; policy (when to retry, how to
+    /// back off after repeated deaths) lives in
+    /// [`Supervisor`](crate::supervise::Supervisor).
+    pub fn respawn_workers(&mut self) -> usize {
+        if self.job_tx.is_none() {
+            return 0; // serial pool: no workers to lose
+        }
+        let mut kept = Vec::with_capacity(self.workers.len());
+        let mut respawn = 0usize;
+        for handle in self.workers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join(); // reap; a panicked worker is expected here
+                respawn += 1;
+            } else {
+                kept.push(handle);
+            }
+        }
+        self.workers = kept;
+        if respawn == 0 {
+            return 0;
+        }
+        let job_rx = match self.job_rx.upgrade() {
+            Some(rx) => rx,
+            None => {
+                // Every worker died and dropped its receiver handle: rebuild
+                // the channel.  The old sender is replaced so later runs
+                // enqueue onto the new queue.
+                let (job_tx, job_rx) = channel::<Job>();
+                self.job_tx = Some(job_tx);
+                let job_rx = Arc::new(Mutex::new(job_rx));
+                self.job_rx = Arc::downgrade(&job_rx);
+                job_rx
+            }
+        };
+        for _ in 0..respawn {
+            self.workers.push(Self::spawn_worker(Arc::clone(&job_rx)));
+        }
+        // `job_rx` (the local strong reference) drops here, so the receiver
+        // is again owned exclusively by the worker threads.
+        respawn
     }
 
     /// Number of worker threads this pool was built with (`0` for a serial
@@ -672,6 +734,68 @@ mod tests {
         assert!(PoolError::WorkerLost { missing: 3 }
             .to_string()
             .contains("lost 3 task result"));
+    }
+
+    #[test]
+    fn respawn_after_killing_every_worker_restores_full_strength() {
+        let mut pool = WorkerPool::new(2);
+        assert!(pool.inject_worker_failure());
+        assert!(pool.inject_worker_failure());
+        wait_for_live_workers(&pool, 0);
+        assert_eq!(
+            pool.try_run((0..4).map(|i| move || i).collect::<Vec<_>>()),
+            Err(PoolError::ShutDown)
+        );
+        assert_eq!(pool.respawn_workers(), 2);
+        assert_eq!(pool.workers(), 2, "configured width is an invariant");
+        assert_eq!(pool.live_workers(), 2);
+        // The rebuilt pool serves fork-joins in submission order again.
+        for round in 0..10 {
+            let out = pool
+                .try_run((0..8).map(|i| move || i * round).collect::<Vec<_>>())
+                .expect("respawned pool must serve");
+            assert_eq!(out, (0..8).map(|i| i * round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn respawn_after_partial_loss_reattaches_to_the_surviving_queue() {
+        let mut pool = WorkerPool::new(4);
+        assert!(pool.inject_worker_failure());
+        wait_for_live_workers(&pool, 3);
+        assert_eq!(pool.respawn_workers(), 1);
+        assert_eq!(pool.live_workers(), 4);
+        let out = pool
+            .try_run((0..16).map(|i| move || i + 1).collect::<Vec<_>>())
+            .expect("healed pool must serve");
+        assert_eq!(out, (1..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respawn_is_a_no_op_on_healthy_and_serial_pools() {
+        let mut healthy = WorkerPool::new(2);
+        assert_eq!(healthy.respawn_workers(), 0);
+        assert_eq!(healthy.live_workers(), 2);
+        let mut serial = WorkerPool::new(1);
+        assert_eq!(serial.respawn_workers(), 0);
+        assert_eq!(serial.workers(), 0);
+    }
+
+    #[test]
+    fn respawn_survives_repeated_kill_cycles() {
+        let mut pool = WorkerPool::new(2);
+        for round in 0..5 {
+            assert!(pool.inject_worker_failure());
+            assert!(pool.inject_worker_failure() || pool.live_workers() <= 1);
+            wait_for_live_workers(&pool, 0);
+            assert!(pool.respawn_workers() >= 1, "round {round}");
+            wait_for_live_workers(&pool, 2); // no-op guard: must not exceed 2
+            assert_eq!(pool.live_workers(), 2, "round {round}");
+            let out = pool
+                .try_run((0..4).map(|i| move || i).collect::<Vec<_>>())
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(out, vec![0, 1, 2, 3]);
+        }
     }
 
     #[test]

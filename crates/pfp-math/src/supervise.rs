@@ -1,0 +1,390 @@
+//! Worker-pool supervision: detect lost workers, respawn them with capped
+//! exponential backoff, and expose a health snapshot.
+//!
+//! [`WorkerPool`] provides the *mechanics* of failure and recovery —
+//! [`WorkerPool::live_workers`] to detect loss and
+//! [`WorkerPool::respawn_workers`] to replace dead threads.  [`Supervisor`]
+//! layers the *policy* on top:
+//!
+//! * **Immediate first respawn.**  A first worker loss is healed on the next
+//!   [`heal`](Supervisor::heal) call with no delay — a one-off death should
+//!   cost at most one batch of latency.
+//! * **Capped exponential backoff on repeated loss.**  If respawned workers
+//!   keep dying (a crash loop), consecutive respawns are spaced by
+//!   `base · 2^(k−1)` clamped to `max`, so a persistent fault cannot turn the
+//!   supervisor into a thread-spawning busy loop.
+//! * **Deterministic jitter.**  Each delay is multiplied by a factor drawn
+//!   from a [`seeded`](crate::rng::seeded_rng) RNG in
+//!   `[1 − jitter, 1 + jitter]`, so restart storms desynchronise across
+//!   replicas while every run with the same seed reproduces the exact same
+//!   schedule (the chaos tests rely on this).
+//! * **Stability reset.**  Once the pool has stayed at full strength for
+//!   `reset_after`, the consecutive-failure counter clears and the next loss
+//!   is again healed immediately.
+//!
+//! The supervisor never spawns its own threads and never blocks: `heal` is a
+//! cheap check designed to be called from a serving loop between batches.
+//! All time-dependent methods have `*_at(now)` variants taking an explicit
+//! [`Instant`] so policy decisions are unit-testable without sleeping.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::parallel::WorkerPool;
+use crate::rng::seeded_rng;
+
+/// Backoff policy for [`Supervisor`] respawns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay before the *second* consecutive respawn (the first is free).
+    pub base: Duration,
+    /// Upper clamp on the exponential schedule.
+    pub max: Duration,
+    /// Jitter fraction `j`: each delay is scaled by a seeded draw from
+    /// `[1 − j, 1 + j]` (clamped back to `max`).  `0` disables jitter.
+    pub jitter: f64,
+    /// Seed of the jitter RNG — same seed, same respawn schedule.
+    pub seed: u64,
+    /// How long the pool must stay at full strength before the
+    /// consecutive-failure counter resets.
+    pub reset_after: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(100),
+            jitter: 0.2,
+            seed: 0,
+            reset_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a supervised pool's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolHealth {
+    /// Configured worker count (`0` for a serial pool).
+    pub configured: usize,
+    /// Workers currently running.
+    pub live: usize,
+    /// Total workers respawned over the supervisor's lifetime.
+    pub respawned_total: u64,
+    /// Respawns since the pool last held full strength for
+    /// [`BackoffConfig::reset_after`] — the exponent driving the backoff.
+    pub consecutive_respawns: u32,
+    /// Time remaining until the next respawn attempt is allowed (`None` when
+    /// no backoff window is armed or it has already passed).
+    pub backoff_remaining: Option<Duration>,
+}
+
+impl PoolHealth {
+    /// Whether every configured worker is running.  A serial pool (no
+    /// workers) is always at full strength.
+    pub fn is_full(&self) -> bool {
+        self.live == self.configured
+    }
+
+    /// `live / configured` in `[0, 1]`; `1.0` for a serial pool, so serial
+    /// services never report degraded health.
+    pub fn live_fraction(&self) -> f64 {
+        if self.configured == 0 {
+            1.0
+        } else {
+            self.live as f64 / self.configured as f64
+        }
+    }
+}
+
+/// Self-healing layer over a [`WorkerPool`]: call [`heal`](Self::heal)
+/// periodically (e.g. once per served batch) and the pool is kept at full
+/// strength through worker deaths, with crash loops contained by capped
+/// exponential backoff.  See the [module docs](self) for the policy.
+pub struct Supervisor {
+    pool: WorkerPool,
+    config: BackoffConfig,
+    rng: StdRng,
+    respawned_total: u64,
+    consecutive: u32,
+    /// Instant of the most recent respawn (backs the stability reset).
+    last_respawn: Option<Instant>,
+    /// Earliest instant the next respawn may happen (backoff window).
+    not_before: Option<Instant>,
+}
+
+impl Supervisor {
+    /// Build a supervised pool of `threads` workers (same `0`/`1` semantics
+    /// as [`WorkerPool::new`]).
+    pub fn new(threads: usize, config: BackoffConfig) -> Self {
+        let rng = seeded_rng(config.seed);
+        Self {
+            pool: WorkerPool::new(threads),
+            config,
+            rng,
+            respawned_total: 0,
+            consecutive: 0,
+            last_respawn: None,
+            not_before: None,
+        }
+    }
+
+    /// The supervised pool, for running tasks and injecting faults.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Health snapshot at `Instant::now()`.
+    pub fn health(&self) -> PoolHealth {
+        self.health_at(Instant::now())
+    }
+
+    /// Health snapshot at an explicit instant (testable without sleeping).
+    pub fn health_at(&self, now: Instant) -> PoolHealth {
+        PoolHealth {
+            configured: self.pool.workers(),
+            live: self.pool.live_workers(),
+            respawned_total: self.respawned_total,
+            consecutive_respawns: self.consecutive,
+            backoff_remaining: self
+                .not_before
+                .filter(|t| *t > now)
+                .map(|t| t.duration_since(now)),
+        }
+    }
+
+    /// Detect and heal worker loss at `Instant::now()`; returns how many
+    /// workers were respawned (0 when healthy, in backoff, or serial).
+    pub fn heal(&mut self) -> usize {
+        self.heal_at(Instant::now())
+    }
+
+    /// [`heal`](Self::heal) with an explicit clock, so backoff decisions can
+    /// be unit-tested deterministically.
+    pub fn heal_at(&mut self, now: Instant) -> usize {
+        let lost = self.pool.workers().saturating_sub(self.pool.live_workers());
+        if lost == 0 {
+            // Full strength: clear the backoff exponent once we have been
+            // stable for the configured window.
+            if self.consecutive > 0
+                && self
+                    .last_respawn
+                    .is_some_and(|t| now.duration_since(t) >= self.config.reset_after)
+            {
+                self.consecutive = 0;
+                self.not_before = None;
+            }
+            return 0;
+        }
+        if self.not_before.is_some_and(|t| now < t) {
+            return 0; // crash-looping: wait out the backoff window
+        }
+        let respawned = self.pool.respawn_workers();
+        if respawned == 0 {
+            // Raced a worker that is unwinding but not yet joinable; the next
+            // heal call will catch it.
+            return 0;
+        }
+        self.respawned_total += respawned as u64;
+        self.consecutive = self.consecutive.saturating_add(1);
+        self.last_respawn = Some(now);
+        let delay = self.next_delay();
+        self.not_before = Some(now + delay);
+        respawned
+    }
+
+    /// The jittered, capped exponential delay for the *next* respawn after
+    /// `consecutive` ones have already happened.
+    fn next_delay(&mut self) -> Duration {
+        let exponent = i32::from(self.consecutive.saturating_sub(1).min(20) as u8);
+        let raw = self.config.base.as_secs_f64() * 2f64.powi(exponent);
+        let capped = raw.min(self.config.max.as_secs_f64());
+        let jitter = self.config.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - jitter + 2.0 * jitter * self.rng.gen::<f64>();
+        Duration::from_secs_f64((capped * factor).min(self.config.max.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_for_live(pool: &WorkerPool, want: usize) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.live_workers() > want {
+            assert!(Instant::now() < deadline, "workers never exited");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn kill_all(sup: &Supervisor, n: usize) {
+        for _ in 0..n {
+            sup.pool().inject_worker_failure();
+        }
+        wait_for_live(sup.pool(), 0);
+    }
+
+    #[test]
+    fn healthy_pool_heals_to_zero_and_reports_full() {
+        let mut sup = Supervisor::new(2, BackoffConfig::default());
+        assert_eq!(sup.heal(), 0);
+        let h = sup.health();
+        assert!(h.is_full());
+        assert_eq!(h.live_fraction(), 1.0);
+        assert_eq!(h.respawned_total, 0);
+        assert_eq!(h.backoff_remaining, None);
+    }
+
+    #[test]
+    fn first_loss_is_healed_immediately() {
+        let mut sup = Supervisor::new(2, BackoffConfig::default());
+        kill_all(&sup, 2);
+        assert!(!sup.health().is_full());
+        assert_eq!(sup.heal(), 2, "first respawn must not be delayed");
+        let h = sup.health();
+        assert!(h.is_full());
+        assert_eq!(h.respawned_total, 2);
+        assert_eq!(h.consecutive_respawns, 1);
+        // The healed pool actually serves again.
+        let out = sup
+            .pool()
+            .try_run((0..4).map(|i| move || i).collect::<Vec<_>>())
+            .expect("healed pool must serve");
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_loss_backs_off_exponentially_then_heals() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(10),
+            max: Duration::from_secs(10),
+            jitter: 0.2,
+            seed: 7,
+            reset_after: Duration::from_secs(60),
+        };
+        let mut sup = Supervisor::new(2, config.clone());
+        let t0 = Instant::now();
+        kill_all(&sup, 2);
+        assert_eq!(sup.heal_at(t0), 2);
+        // Crash loop: kill the respawned workers straight away.
+        kill_all(&sup, 2);
+        // Inside the backoff window (≤ base · 1.2 with jitter): no respawn.
+        assert_eq!(sup.heal_at(t0 + Duration::from_micros(1)), 0);
+        assert!(sup
+            .health_at(t0 + Duration::from_micros(1))
+            .backoff_remaining
+            .is_some());
+        // Past the (jittered) window — at most base · 1.2 — respawn happens.
+        assert_eq!(sup.heal_at(t0 + Duration::from_millis(13)), 2);
+        assert_eq!(sup.health().consecutive_respawns, 2);
+        // The second window is ~2× the first: 2 · base · [0.8, 1.2].
+        kill_all(&sup, 2);
+        assert_eq!(
+            sup.heal_at(t0 + Duration::from_millis(13) + Duration::from_millis(15)),
+            0,
+            "second backoff window must be longer than the first"
+        );
+        assert_eq!(
+            sup.heal_at(t0 + Duration::from_millis(13) + Duration::from_millis(25)),
+            2
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_for_a_fixed_seed() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(5),
+            max: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 42,
+            reset_after: Duration::from_secs(60),
+        };
+        let now = Instant::now();
+        let mut remaining = Vec::new();
+        for _ in 0..2 {
+            let mut sup = Supervisor::new(2, config.clone());
+            let mut probes = Vec::new();
+            let mut t = now;
+            for _ in 0..4 {
+                kill_all(&sup, 2);
+                // Step far past any possible window so every heal respawns.
+                t += Duration::from_secs(2);
+                assert_eq!(sup.heal_at(t), 2);
+                probes.push(sup.health_at(t).backoff_remaining);
+            }
+            remaining.push(probes);
+        }
+        assert_eq!(
+            remaining[0], remaining[1],
+            "same seed must give the same jittered schedule"
+        );
+        // And the schedule really is jittered (not all equal) and growing.
+        let first = remaining[0][0].unwrap();
+        let last = remaining[0][3].unwrap();
+        assert!(
+            last > first,
+            "backoff must grow across consecutive respawns"
+        );
+    }
+
+    #[test]
+    fn stability_window_resets_the_backoff_exponent() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(10),
+            max: Duration::from_secs(10),
+            jitter: 0.0,
+            seed: 0,
+            reset_after: Duration::from_millis(50),
+        };
+        let mut sup = Supervisor::new(2, config);
+        let t0 = Instant::now();
+        kill_all(&sup, 2);
+        assert_eq!(sup.heal_at(t0), 2);
+        assert_eq!(sup.health().consecutive_respawns, 1);
+        // Stable past reset_after: the exponent clears.
+        assert_eq!(sup.heal_at(t0 + Duration::from_millis(60)), 0);
+        assert_eq!(sup.health().consecutive_respawns, 0);
+        // The next loss is again healed immediately.
+        kill_all(&sup, 2);
+        assert_eq!(sup.heal_at(t0 + Duration::from_millis(61)), 2);
+        assert_eq!(sup.health().consecutive_respawns, 1);
+    }
+
+    #[test]
+    fn serial_pool_is_always_full_and_never_respawns() {
+        let mut sup = Supervisor::new(1, BackoffConfig::default());
+        assert_eq!(sup.heal(), 0);
+        let h = sup.health();
+        assert_eq!(h.configured, 0);
+        assert!(h.is_full());
+        assert_eq!(h.live_fraction(), 1.0);
+    }
+
+    #[test]
+    fn jitter_zero_gives_the_exact_exponential_schedule() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(8),
+            max: Duration::from_millis(20),
+            jitter: 0.0,
+            seed: 1,
+            reset_after: Duration::from_secs(60),
+        };
+        let now = Instant::now();
+        let mut sup = Supervisor::new(2, config);
+        let mut t = now;
+        let mut windows = Vec::new();
+        for _ in 0..4 {
+            kill_all(&sup, 2);
+            t += Duration::from_secs(2);
+            assert_eq!(sup.heal_at(t), 2);
+            windows.push(sup.health_at(t).backoff_remaining.unwrap());
+        }
+        // 8ms, 16ms, then clamped at the 20ms cap.
+        assert_eq!(windows[0], Duration::from_millis(8));
+        assert_eq!(windows[1], Duration::from_millis(16));
+        assert_eq!(windows[2], Duration::from_millis(20));
+        assert_eq!(windows[3], Duration::from_millis(20));
+    }
+}

@@ -128,6 +128,13 @@ impl Default for AdaptiveRho {
 /// principled criterion and the plateau test can stop short of it.  Sweep and
 /// CV drivers turn it on: they run many closely-related solves where the tail
 /// of each solve buys accuracy the downstream metric cannot see.
+///
+/// Degenerate configurations are documented no-ops, never panics:
+/// `window == 0` never fires (there is no past entry to compare against, so
+/// it disables the criterion rather than indexing out of bounds), a trace
+/// shorter than the window never fires, `window == 1` compares consecutive
+/// outers (the most trigger-happy legal setting), and `rel_tol == 0.0` fires
+/// only when the objective fails to improve *at all* over the window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlateauStop {
     /// Window length in outer iterations: the trace entry `window` outers ago
@@ -1344,5 +1351,46 @@ mod tests {
         assert!(p5.fires(&[1.0; 6]));
         // Still improving by more than rel_tol·|past|: does not fire.
         assert!(!p5.fires(&[2.0, 1.8, 1.6, 1.4, 1.2, 1.0]));
+    }
+
+    #[test]
+    fn plateau_degenerate_configs_are_no_ops_never_panics() {
+        // window == 0 on every trace shape, including empty: no panic, no fire.
+        let w0 = PlateauStop {
+            window: 0,
+            rel_tol: 0.0,
+        };
+        assert!(!w0.fires(&[]));
+        assert!(!w0.fires(&[1.0]));
+        assert!(!w0.fires(&[1.0, 1.0]));
+
+        // window == 1: consecutive-outer comparison, legal and trigger-happy.
+        let w1 = PlateauStop {
+            window: 1,
+            rel_tol: 1e-4,
+        };
+        assert!(!w1.fires(&[]), "empty trace must not fire");
+        assert!(!w1.fires(&[5.0]), "trace length == window must not fire");
+        assert!(w1.fires(&[5.0, 5.0]), "flat consecutive outers fire");
+        assert!(!w1.fires(&[5.0, 3.0]), "a real improvement does not fire");
+
+        // rel_tol == 0: fires only on exact non-improvement.
+        let exact = PlateauStop {
+            window: 2,
+            rel_tol: 0.0,
+        };
+        assert!(exact.fires(&[1.0, 1.0, 1.0]), "no improvement at all fires");
+        assert!(exact.fires(&[1.0, 1.0, 1.0 + 1e-9]), "regression fires");
+        assert!(
+            !exact.fires(&[1.0, 1.0, 1.0 - 1e-9]),
+            "any strict improvement keeps going"
+        );
+
+        // Trace far shorter than a huge window: no indexing panic.
+        let wide = PlateauStop {
+            window: 1_000_000,
+            rel_tol: 1.0,
+        };
+        assert!(!wide.fires(&[1.0, 1.0, 1.0]));
     }
 }

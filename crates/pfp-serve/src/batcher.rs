@@ -95,6 +95,33 @@ mod tests {
     }
 
     #[test]
+    fn sender_dropped_while_batching_blocks_flushes_exactly_once() {
+        // The stronger mid-batch variant: the collector is already *blocked*
+        // in `recv_timeout` (batch non-empty, far from full) when the sender
+        // thread delivers one more item and hangs up.  The `Disconnected`
+        // arm must flush the partial batch immediately — well before the
+        // full `max_wait` elapses — and exactly once: the next call sees the
+        // closed, drained channel and returns `None`.
+        let (tx, rx) = channel();
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(2).unwrap();
+            // `tx` dropped here, mid-collection.
+        });
+        let started = Instant::now();
+        let batch = collect_batch(&rx, 64, Duration::from_secs(10)).unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "disconnect must flush early, not wait out max_wait (took {elapsed:?})"
+        );
+        assert_eq!(collect_batch(&rx, 64, Duration::from_millis(1)), None);
+        sender.join().unwrap();
+    }
+
+    #[test]
     fn zero_max_batch_is_treated_as_one() {
         let (tx, rx) = channel();
         tx.send(42).unwrap();

@@ -25,10 +25,32 @@
 //!
 //! ## Failure semantics
 //!
-//! Errors are per-request, never process aborts: a malformed request gets
-//! [`ServeError::FeatureDim`], a scoring-worker death fails the affected
-//! batch with [`ServeError::Pool`] while the service keeps answering, and
-//! requests after shutdown get [`ServeError::ShutDown`].
+//! Errors are per-request, never process aborts, and the serving stack is
+//! **self-healing**:
+//!
+//! * A [`pfp_math::Supervisor`] respawns lost scoring workers with capped
+//!   exponential backoff — a killed worker costs at most a batch or two of
+//!   [`ServeError::Pool`] errors (or degraded answers, see below) before the
+//!   pool returns to full strength.
+//! * The request queue is **bounded** ([`ServeConfig::queue_capacity`]):
+//!   overload sheds immediately with [`ServeError::Overloaded`] instead of
+//!   queueing unboundedly.
+//! * Per-request **deadlines** ([`ServeClient::predict_with_deadline`] or
+//!   [`ServeConfig::default_deadline`]) fail fast with
+//!   [`ServeError::DeadlineExceeded`], checked both at dequeue and again
+//!   just before scoring.
+//! * With a [`FallbackPredictor`] configured
+//!   ([`PredictionService::start_with_fallback`]), an unhealthy pool answers
+//!   from the O(1) fallback — tagged [`Prediction::degraded`] — rather than
+//!   erroring.  Healthy-path answers stay bitwise identical to
+//!   [`DmcpModel::probabilities`].
+//! * [`ServeClient::predict_with_retry`] retries transient errors (and only
+//!   those — never [`ServeError::FeatureDim`]) on a budgeted doubling
+//!   backoff.
+//!
+//! A malformed request gets [`ServeError::FeatureDim`], and requests after
+//! shutdown get [`ServeError::ShutDown`]; both are permanent
+//! (`!is_retryable`).
 //!
 //! ## Example
 //!
@@ -53,6 +75,7 @@
 //! let prediction = client.predict(SparseVec::binary(4, vec![0, 2])).unwrap();
 //! assert_eq!(prediction.cu_probs, reference.0);
 //! assert_eq!(prediction.duration_probs, reference.1);
+//! assert!(!prediction.degraded);
 //! service.shutdown();
 //! ```
 
@@ -60,7 +83,11 @@ pub mod batcher;
 pub mod service;
 
 pub use pfp_core::DmcpModel;
-pub use service::{Prediction, PredictionService, ServeClient, ServeConfig, ServeError};
+pub use pfp_math::supervise::{BackoffConfig, PoolHealth};
+pub use service::{
+    FallbackPredictor, PendingPrediction, Prediction, PredictionService, RetryPolicy, ServeClient,
+    ServeConfig, ServeError,
+};
 
 #[cfg(test)]
 mod tests {
@@ -104,6 +131,7 @@ mod tests {
                 max_batch: 16,
                 max_wait: Duration::from_millis(2),
                 threads: 2,
+                ..Default::default()
             },
         );
         // Submit from several client threads so batches actually form.
@@ -153,30 +181,48 @@ mod tests {
     }
 
     #[test]
-    fn killing_every_worker_degrades_to_per_request_errors_not_a_crash() {
+    fn killing_every_worker_self_heals_back_to_bitwise_correct_answers() {
+        let model = test_model();
+        let expected = model.probabilities(&request(0));
         let service = PredictionService::start(
-            test_model(),
+            model,
             ServeConfig {
                 max_batch: 8,
                 max_wait: Duration::from_micros(200),
                 threads: 2,
+                ..Default::default()
             },
         );
         let client = service.client();
         // Healthy first.
         assert!(client.predict(request(0)).is_ok());
         // Kill both workers.  The poison jobs sit ahead of any scoring job in
-        // the pool's FIFO queue, so the next batch deterministically fails.
+        // the pool's FIFO queue, so the next batch fails — and the supervisor
+        // respawns the workers on the batch after that.
         service.inject_worker_failure();
         service.inject_worker_failure();
-        for i in 0..10 {
-            match client.predict(request(i)) {
+        let mut recovered = None;
+        for i in 0..200 {
+            match client.predict(request(0)) {
+                Ok(prediction) => {
+                    recovered = Some((i, prediction));
+                    break;
+                }
+                // A bounded window of typed pool errors while healing is the
+                // contract; anything else (panic, wrong variant) is a bug.
                 Err(ServeError::Pool(PoolError::ShutDown))
                 | Err(ServeError::Pool(PoolError::WorkerLost { .. })) => {}
-                other => panic!("request {i}: expected a pool error, got {other:?}"),
+                Err(other) => panic!("request {i}: expected a pool error, got {other:?}"),
             }
         }
-        // Still answering (with errors), not aborted: shutdown cleanly.
+        let (i, prediction) = recovered.expect("service never healed after kill-all");
+        // Recovered answers are the DMCP model's, bitwise — not a fallback.
+        assert_eq!(prediction.cu_probs, expected.0, "healed at request {i}");
+        assert_eq!(prediction.duration_probs, expected.1);
+        assert!(!prediction.degraded);
+        let health = service.health();
+        assert!(health.is_full(), "pool not at full strength: {health:?}");
+        assert!(health.respawned_total >= 2);
         service.shutdown();
     }
 
@@ -190,6 +236,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_micros(100),
                 threads: 4,
+                ..Default::default()
             },
         );
         service.inject_worker_failure();
@@ -206,6 +253,51 @@ mod tests {
             }
         }
         assert!(ok > 0, "no request succeeded after a single-worker failure");
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_budget_requests_fail_fast_with_deadline_exceeded() {
+        let service = PredictionService::start(
+            test_model(),
+            ServeConfig {
+                // A long flush timer so the deadline always expires while the
+                // request waits in the batcher.
+                max_batch: 64,
+                max_wait: Duration::from_millis(20),
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let client = service.client();
+        assert_eq!(
+            client
+                .predict_with_deadline(request(0), Duration::ZERO)
+                .unwrap_err(),
+            ServeError::DeadlineExceeded
+        );
+        // Deadlines are per-request: an un-budgeted request still succeeds.
+        assert!(client.predict(request(0)).is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_predict() {
+        let service = PredictionService::start(
+            test_model(),
+            ServeConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(20),
+                threads: 1,
+                default_deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        let client = service.client();
+        assert_eq!(
+            client.predict(request(0)).unwrap_err(),
+            ServeError::DeadlineExceeded
+        );
         service.shutdown();
     }
 
@@ -242,6 +334,7 @@ mod tests {
                 max_batch: 2,
                 max_wait: Duration::from_micros(50),
                 threads: 1,
+                ..Default::default()
             },
         );
         let client = service.client();

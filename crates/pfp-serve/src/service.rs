@@ -1,19 +1,30 @@
 //! The prediction service: a dispatcher thread that micro-batches requests,
 //! scores each batch as one register-blocked `CSR × Θ` pass, and fans the
 //! per-row distributions back to the callers in submission order.
+//!
+//! The serving path is *self-healing*: a [`pfp_math::Supervisor`] respawns
+//! lost scoring workers (capped exponential backoff, seeded jitter), the
+//! request queue is bounded so overload sheds with
+//! [`ServeError::Overloaded`] instead of growing without bound, per-request
+//! deadlines fail fast with [`ServeError::DeadlineExceeded`], and an optional
+//! [`FallbackPredictor`] answers (tagged [`Prediction::degraded`]) while the
+//! pool is below its health threshold.
 
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pfp_core::DmcpModel;
 use pfp_math::parallel::chunk_ranges;
 use pfp_math::softmax::softmax;
-use pfp_math::{CsrMatrix, PoolError, SparseVec, WorkerPool};
+use pfp_math::supervise::{BackoffConfig, PoolHealth, Supervisor};
+use pfp_math::{CsrMatrix, PoolError, SparseVec};
 
 use crate::batcher::collect_batch;
 
-/// Tuning knobs for the micro-batcher and the scoring pool.
+/// Tuning knobs for the micro-batcher, the scoring pool, and the service's
+/// failure policy.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Flush a batch once it holds this many requests (0 behaves as 1).
@@ -23,6 +34,20 @@ pub struct ServeConfig {
     /// Scoring threads (`WorkerPool` width).  `1` scores inline on the
     /// dispatcher thread; `0` resolves to the machine's core count.
     pub threads: usize,
+    /// Bound on the request queue (0 behaves as 1).  When full, submissions
+    /// are shed with [`ServeError::Overloaded`] — admission control is
+    /// explicit, never silent unbounded growth.
+    pub queue_capacity: usize,
+    /// Latency budget applied to requests submitted without an explicit
+    /// deadline.  `None` means such requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// Degrade to the fallback predictor (when one is configured) while
+    /// `live_workers / workers` is below this fraction.  `0.0` never
+    /// degrades pre-emptively (the fallback still catches scoring failures);
+    /// values above `1.0` force every answer through the fallback.
+    pub min_live_fraction: f64,
+    /// Respawn backoff policy for the supervised scoring pool.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for ServeConfig {
@@ -31,6 +56,10 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             threads: 1,
+            queue_capacity: 1024,
+            default_deadline: None,
+            min_live_fraction: 0.5,
+            backoff: BackoffConfig::default(),
         }
     }
 }
@@ -41,11 +70,30 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// The request's feature vector does not match the model's dimension.
     FeatureDim { expected: usize, got: usize },
-    /// The scoring pool failed mid-batch (a worker thread died); the request
-    /// was not scored.
+    /// The scoring pool failed mid-batch (a worker thread died) and no
+    /// fallback predictor was configured; the request was not scored.
     Pool(PoolError),
+    /// The bounded request queue was full at submission; the request was
+    /// shed without being enqueued.
+    Overloaded { capacity: usize },
+    /// The request's deadline passed before it could be scored.
+    DeadlineExceeded,
     /// The service has shut down and can no longer accept or answer requests.
     ShutDown,
+}
+
+impl ServeError {
+    /// Whether retrying the same request can possibly succeed.  Transient
+    /// conditions (pool failure mid-heal, overload, a missed deadline) are
+    /// retryable; a malformed request ([`ServeError::FeatureDim`]) or a
+    /// stopped service ([`ServeError::ShutDown`]) will fail identically every
+    /// time and must not be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Pool(_) | ServeError::Overloaded { .. } | ServeError::DeadlineExceeded
+        )
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -56,12 +104,25 @@ impl std::fmt::Display for ServeError {
                 "feature dimension mismatch: model expects {expected}, request has {got}"
             ),
             ServeError::Pool(err) => write!(f, "scoring pool failure: {err}"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "request shed: service queue at capacity ({capacity})")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before scoring")
+            }
             ServeError::ShutDown => write!(f, "prediction service has shut down"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Pool(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// One request's answer: the conditional transfer distribution over care
 /// units and the duration-class distribution (Eq. 5 of the paper).
@@ -74,28 +135,60 @@ pub struct Prediction {
     /// How many rows were in the micro-batch this request was scored with
     /// (observability: 1 means the batcher flushed on the timer).
     pub batch_rows: usize,
+    /// `true` when this answer came from the fallback predictor because the
+    /// scoring pool was unhealthy — still a valid distribution pair, but not
+    /// the DMCP model's.  `false` answers are bitwise identical to
+    /// [`DmcpModel::probabilities`].
+    pub degraded: bool,
+}
+
+/// A replacement scorer used while the DMCP pool is unhealthy: must be O(1)
+/// per request and must never fail.  The Markov marginal baseline in
+/// `pfp-baselines` implements this.
+pub trait FallbackPredictor: Send {
+    /// `(num_cus, num_durations)` — checked against the model at startup.
+    fn dims(&self) -> (usize, usize);
+    /// Answer one request: `(cu_probs, duration_probs)`.
+    fn probabilities(&self, features: &SparseVec) -> (Vec<f64>, Vec<f64>);
 }
 
 enum Msg {
     Predict {
         features: SparseVec,
+        /// Absolute expiry, pre-computed at submission; checked at dequeue
+        /// and again immediately before scoring.
+        deadline: Option<Instant>,
         reply: Sender<Result<Prediction, ServeError>>,
     },
     /// Test/bench hook: kill one scoring worker (fault injection).
     InjectWorkerFailure,
     /// Stop the dispatcher after answering the current batch.  An explicit
     /// sentinel rather than channel closure: outstanding [`ServeClient`]
-    /// clones each hold a `Sender`, so the channel alone cannot signal
+    /// clones each hold a sender, so the channel alone cannot signal
     /// shutdown while clients are alive.
     Shutdown,
+}
+
+/// One admitted request row while its batch is being assembled and scored.
+struct PendingRow {
+    /// Taken (set to `None`) once the row has been answered — e.g. by the
+    /// pre-scoring deadline pass.
+    reply: Option<Sender<Result<Prediction, ServeError>>>,
+    deadline: Option<Instant>,
+    /// Retained so the fallback predictor can re-score the row without
+    /// unpacking the CSR block.
+    features: SparseVec,
 }
 
 /// A running prediction service.  Owns the dispatcher thread; dropping the
 /// service (or calling [`PredictionService::shutdown`]) closes the request
 /// channel, drains in-flight batches, and joins the dispatcher.
 pub struct PredictionService {
-    tx: Option<Sender<Msg>>,
+    tx: Option<SyncSender<Msg>>,
     dispatcher: Option<JoinHandle<()>>,
+    health: Arc<Mutex<PoolHealth>>,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
 }
 
 /// A cloneable handle for submitting prediction requests.  Each clone may be
@@ -103,23 +196,95 @@ pub struct PredictionService {
 /// together by the single dispatcher.
 #[derive(Clone)]
 pub struct ServeClient {
-    tx: Sender<Msg>,
+    tx: SyncSender<Msg>,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+}
+
+/// An in-flight request submitted with [`ServeClient::submit`]: call
+/// [`wait`](PendingPrediction::wait) for the answer.  Dropping it abandons
+/// the request (the dispatcher's reply is discarded).
+pub struct PendingPrediction {
+    rx: Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PendingPrediction {
+    /// Block for this request's answer.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShutDown)?
+    }
+}
+
+/// Budgeted-retry policy for [`ServeClient::predict_with_retry`]: at most
+/// `max_attempts` tries, exponential backoff between them, and retries only
+/// on [`ServeError::is_retryable`] errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (0 behaves as 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Clamp on the doubling backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
 }
 
 impl PredictionService {
-    /// Spawn the dispatcher thread around a trained model.
+    /// Spawn the dispatcher thread around a trained model, with no fallback
+    /// predictor: pool failures surface as [`ServeError::Pool`] until the
+    /// supervisor heals the pool.
     pub fn start(model: DmcpModel, config: ServeConfig) -> PredictionService {
-        let (tx, rx) = channel::<Msg>();
+        Self::start_with_fallback(model, config, None)
+    }
+
+    /// Spawn the dispatcher thread with an optional degraded-mode fallback.
+    ///
+    /// While pool health is below [`ServeConfig::min_live_fraction`] — or a
+    /// batch's scoring pass fails outright — requests are answered by
+    /// `fallback` and tagged [`Prediction::degraded`] instead of erroring.
+    ///
+    /// # Panics
+    ///
+    /// If the fallback's `(num_cus, num_durations)` do not match the model's:
+    /// a shape-mismatched fallback would silently answer with distributions
+    /// over the wrong classes.
+    pub fn start_with_fallback(
+        model: DmcpModel,
+        config: ServeConfig,
+        fallback: Option<Box<dyn FallbackPredictor>>,
+    ) -> PredictionService {
+        if let Some(fb) = &fallback {
+            assert_eq!(
+                fb.dims(),
+                (model.num_cus, model.num_durations),
+                "fallback predictor dims must match the model"
+            );
+        }
+        let queue_capacity = config.queue_capacity.max(1);
+        let default_deadline = config.default_deadline;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(queue_capacity);
+        let supervisor = Supervisor::new(config.threads, config.backoff.clone());
+        let health = Arc::new(Mutex::new(supervisor.health()));
+        let shared_health = Arc::clone(&health);
         let dispatcher = std::thread::Builder::new()
             .name("pfp-serve-dispatcher".into())
             .spawn(move || {
-                let pool = WorkerPool::new(config.threads);
+                let mut supervisor = supervisor;
                 let width = model.num_cus + model.num_durations;
                 // The CSR block is reused across batches: `clear_rows` keeps
                 // the index/value capacity, so a steady-state batch packs
                 // with zero allocations.
                 let mut block = CsrMatrix::with_dim(model.num_features());
-                let mut pending: Vec<Sender<Result<Prediction, ServeError>>> = Vec::new();
+                let mut pending: Vec<PendingRow> = Vec::new();
                 let mut stop = false;
                 while !stop {
                     let Some(batch) = collect_batch(&rx, config.max_batch, config.max_wait) else {
@@ -129,19 +294,31 @@ impl PredictionService {
                     pending.clear();
                     for msg in batch {
                         match msg {
-                            Msg::Predict { features, reply } => {
+                            Msg::Predict {
+                                features,
+                                deadline,
+                                reply,
+                            } => {
                                 if features.dim() != model.num_features() {
                                     let _ = reply.send(Err(ServeError::FeatureDim {
                                         expected: model.num_features(),
                                         got: features.dim(),
                                     }));
+                                } else if deadline.is_some_and(|d| Instant::now() > d) {
+                                    // Dequeue-time deadline check: the
+                                    // request aged out while queued.
+                                    let _ = reply.send(Err(ServeError::DeadlineExceeded));
                                 } else {
                                     block.push_row(&features);
-                                    pending.push(reply);
+                                    pending.push(PendingRow {
+                                        reply: Some(reply),
+                                        deadline,
+                                        features,
+                                    });
                                 }
                             }
                             Msg::InjectWorkerFailure => {
-                                pool.inject_worker_failure();
+                                supervisor.pool().inject_worker_failure();
                             }
                             // Finish answering the batch in flight, then
                             // exit; replies queued after the sentinel drop,
@@ -149,15 +326,45 @@ impl PredictionService {
                             Msg::Shutdown => stop = true,
                         }
                     }
+                    // Heal before scoring: a lost worker costs at most one
+                    // failed/degraded batch before the supervisor respawns it
+                    // (subject to backoff when respawns keep dying).
+                    supervisor.heal();
+                    let snapshot = supervisor.health();
+                    let degraded =
+                        fallback.is_some() && snapshot.live_fraction() < config.min_live_fraction;
+                    if let Ok(mut shared) = shared_health.lock() {
+                        *shared = snapshot;
+                    }
                     let k = block.rows();
                     if k == 0 {
+                        continue;
+                    }
+                    // Scoring-time deadline check: answer rows that expired
+                    // while the batch was assembling, without scoring them.
+                    let now = Instant::now();
+                    let mut alive = 0usize;
+                    for row in pending.iter_mut() {
+                        if row.deadline.is_some_and(|d| now > d) {
+                            if let Some(reply) = row.reply.take() {
+                                let _ = reply.send(Err(ServeError::DeadlineExceeded));
+                            }
+                        } else {
+                            alive += 1;
+                        }
+                    }
+                    if alive == 0 {
+                        continue;
+                    }
+                    if degraded {
+                        Self::answer_from_fallback(fallback.as_deref(), &mut pending, k);
                         continue;
                     }
                     // Shard the batch across the pool.  Each shard performs
                     // the same per-row FLOPs in the same order as a
                     // single-request scoring, so batched results are bitwise
                     // identical to `model.probabilities` per request.
-                    let shards = chunk_ranges(k, pool.workers().max(1));
+                    let shards = chunk_ranges(k, supervisor.pool().workers().max(1));
                     let block_ref = &block;
                     let model_ref = &model;
                     let tasks: Vec<_> = shards
@@ -177,29 +384,39 @@ impl PredictionService {
                                             cu_probs: softmax(cu),
                                             duration_probs: softmax(dur),
                                             batch_rows: k,
+                                            degraded: false,
                                         }
                                     })
                                     .collect::<Vec<Prediction>>()
                             }
                         })
                         .collect();
-                    match pool.try_run(tasks) {
+                    match supervisor.pool().try_run(tasks) {
                         Ok(parts) => {
                             let mut predictions = parts.into_iter().flatten();
-                            for reply in pending.drain(..) {
+                            for row in pending.drain(..) {
                                 let prediction = predictions
                                     .next()
                                     .expect("shard fan-in lost a prediction row");
-                                let _ = reply.send(Ok(prediction));
+                                if let Some(reply) = row.reply {
+                                    let _ = reply.send(Ok(prediction));
+                                }
                             }
                         }
-                        // The pool failed (worker death): every request in
-                        // this batch gets a typed error, and the service
-                        // keeps serving — later batches fail the same way
-                        // rather than aborting the process.
+                        // The pool failed (worker death) mid-batch.  With a
+                        // fallback, the batch is still answered — degraded;
+                        // without one, every request in it gets a typed
+                        // error.  Either way the service keeps serving, and
+                        // the supervisor heals the pool on the next batch.
                         Err(err) => {
-                            for reply in pending.drain(..) {
-                                let _ = reply.send(Err(ServeError::Pool(err.clone())));
+                            if fallback.is_some() {
+                                Self::answer_from_fallback(fallback.as_deref(), &mut pending, k);
+                            } else {
+                                for row in pending.drain(..) {
+                                    if let Some(reply) = row.reply {
+                                        let _ = reply.send(Err(ServeError::Pool(err.clone())));
+                                    }
+                                }
                             }
                         }
                     }
@@ -209,6 +426,28 @@ impl PredictionService {
         PredictionService {
             tx: Some(tx),
             dispatcher: Some(dispatcher),
+            health,
+            queue_capacity,
+            default_deadline,
+        }
+    }
+
+    fn answer_from_fallback(
+        fallback: Option<&dyn FallbackPredictor>,
+        pending: &mut Vec<PendingRow>,
+        batch_rows: usize,
+    ) {
+        let fallback = fallback.expect("answer_from_fallback called without a fallback");
+        for row in pending.drain(..) {
+            if let Some(reply) = row.reply {
+                let (cu_probs, duration_probs) = fallback.probabilities(&row.features);
+                let _ = reply.send(Ok(Prediction {
+                    cu_probs,
+                    duration_probs,
+                    batch_rows,
+                    degraded: true,
+                }));
+            }
         }
     }
 
@@ -219,12 +458,27 @@ impl PredictionService {
                 .tx
                 .clone()
                 .expect("prediction service already shut down"),
+            queue_capacity: self.queue_capacity,
+            default_deadline: self.default_deadline,
         }
     }
 
-    /// Kill one scoring worker (fault injection for tests and the load
+    /// The supervised pool's health as of the most recently dispatched batch.
+    ///
+    /// The snapshot is refreshed by the dispatcher once per batch, so it goes
+    /// stale while the service is idle — a worker killed between batches is
+    /// reported (and healed) only when the next request arrives.
+    pub fn health(&self) -> PoolHealth {
+        self.health
+            .lock()
+            .expect("health snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Kill one scoring worker (fault injection for tests and the chaos
     /// harness).  The failure surfaces on the batch *after* the message is
-    /// dispatched; requests already answered are unaffected.
+    /// dispatched; requests already answered are unaffected — and the
+    /// supervisor respawns the worker on the following batch.
     pub fn inject_worker_failure(&self) {
         if let Some(tx) = &self.tx {
             let _ = tx.send(Msg::InjectWorkerFailure);
@@ -255,19 +509,90 @@ impl Drop for PredictionService {
 }
 
 impl ServeClient {
+    /// Submit one featurized sample without blocking for its answer.
+    ///
+    /// This is the admission-control point: if the bounded request queue is
+    /// full the request is shed immediately with
+    /// [`ServeError::Overloaded`] — it never queues unboundedly.  The
+    /// request inherits [`ServeConfig::default_deadline`] when one is set.
+    pub fn submit(&self, features: SparseVec) -> Result<PendingPrediction, ServeError> {
+        self.submit_inner(features, self.default_deadline.map(|d| Instant::now() + d))
+    }
+
+    /// [`submit`](Self::submit) with an explicit per-request latency budget
+    /// (overriding the config default).  A zero budget expires immediately —
+    /// useful for load-shedding tests.
+    pub fn submit_with_deadline(
+        &self,
+        features: SparseVec,
+        budget: Duration,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_inner(features, Some(Instant::now() + budget))
+    }
+
+    fn submit_inner(
+        &self,
+        features: SparseVec,
+        deadline: Option<Instant>,
+    ) -> Result<PendingPrediction, ServeError> {
+        let (reply_tx, reply_rx) = channel();
+        match self.tx.try_send(Msg::Predict {
+            features,
+            deadline,
+            reply: reply_tx,
+        }) {
+            Ok(()) => Ok(PendingPrediction { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded {
+                capacity: self.queue_capacity,
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShutDown),
+        }
+    }
+
     /// Submit one featurized sample and block for its distribution pair.
     ///
-    /// Errors are per-request: a dimension mismatch or a scoring-pool
-    /// failure answers *this* call with `Err`, leaving the service (and
-    /// other clients) running.
+    /// Errors are per-request: a dimension mismatch, shed, missed deadline,
+    /// or scoring-pool failure answers *this* call with `Err`, leaving the
+    /// service (and other clients) running.
     pub fn predict(&self, features: SparseVec) -> Result<Prediction, ServeError> {
-        let (reply_tx, reply_rx) = channel();
-        self.tx
-            .send(Msg::Predict {
-                features,
-                reply: reply_tx,
-            })
-            .map_err(|_| ServeError::ShutDown)?;
-        reply_rx.recv().map_err(|_| ServeError::ShutDown)?
+        self.submit(features)?.wait()
+    }
+
+    /// [`predict`](Self::predict) with an explicit per-request latency
+    /// budget.
+    pub fn predict_with_deadline(
+        &self,
+        features: SparseVec,
+        budget: Duration,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_with_deadline(features, budget)?.wait()
+    }
+
+    /// [`predict`](Self::predict) with budgeted retries: retry only while
+    /// [`ServeError::is_retryable`] holds (a pool failure mid-heal, a shed,
+    /// a missed deadline), sleeping a doubling backoff between attempts.
+    /// Non-retryable errors ([`ServeError::FeatureDim`],
+    /// [`ServeError::ShutDown`]) return immediately — retrying a malformed
+    /// request would only burn the budget on identical failures.
+    pub fn predict_with_retry(
+        &self,
+        features: &SparseVec,
+        policy: &RetryPolicy,
+    ) -> Result<Prediction, ServeError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        let mut last_err = ServeError::ShutDown;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            match self.predict(features.clone()) {
+                Ok(prediction) => return Ok(prediction),
+                Err(err) if err.is_retryable() => last_err = err,
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last_err)
     }
 }

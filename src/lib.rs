@@ -20,7 +20,9 @@
 //!   regenerates every table and figure of the paper.
 //! * [`serve`] — micro-batched prediction service over a trained model
 //!   (feature vector in, transfer distribution out), with per-request
-//!   failure semantics.
+//!   failure semantics: supervised self-healing worker pool, bounded queue
+//!   with overload shedding, per-request deadlines, and degraded-mode
+//!   fallback answers.
 //!
 //! ## Quickstart
 //!

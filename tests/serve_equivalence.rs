@@ -110,6 +110,7 @@ proptest! {
                 max_batch: 8,
                 max_wait: std::time::Duration::from_micros(100),
                 threads: 2,
+                ..Default::default()
             },
         );
         let client = service.client();
