@@ -142,8 +142,12 @@ pub fn synthesize_minority_samples(
         // Class-conditional per-dimension statistics: activation probability
         // and mean nonzero value.
         let dim = samples[members[0]].features.dim();
-        let mut active_counts: std::collections::HashMap<u32, (usize, f64)> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: the Bernoulli draws below are consumed in
+        // iteration order, and HashMap's per-process hash seed would make the
+        // synthetic samples — and every model trained on them — differ from
+        // run to run despite the fixed seed.
+        let mut active_counts: std::collections::BTreeMap<u32, (usize, f64)> =
+            std::collections::BTreeMap::new();
         for &i in members {
             for (idx, v) in samples[i].features.iter() {
                 let e = active_counts.entry(idx).or_insert((0, 0.0));
@@ -377,6 +381,26 @@ mod tests {
                 );
             }
             assert!(s.features.nnz() >= 1);
+        }
+    }
+
+    #[test]
+    fn synthesize_is_deterministic_at_a_fixed_seed() {
+        // Regression: the per-class feature statistics used to live in a
+        // HashMap, whose per-instance hash keys made the Bernoulli draws —
+        // and therefore the synthetic samples and every model trained on
+        // them — differ between runs at the same seed.  Two independent
+        // calls must agree bitwise.
+        let a = synthesize_minority_samples(imbalanced_samples(), 2, 2, 1_000, 5);
+        let b = synthesize_minority_samples(imbalanced_samples(), 2, 2, 1_000, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.patient_id, y.patient_id);
+            assert_eq!(x.cu_label, y.cu_label);
+            assert_eq!(x.duration_label, y.duration_label);
+            let (xf, yf): (Vec<_>, Vec<_>) =
+                (x.features.iter().collect(), y.features.iter().collect());
+            assert_eq!(xf, yf, "synthetic features must reproduce bitwise");
         }
     }
 

@@ -8,7 +8,7 @@ use pfp_core::dataset::{Dataset, RawSample};
 use pfp_math::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::predictor::{FlowPredictor, MethodId, Prediction};
+use crate::predictor::{FlowPredictor, GenerativePredictor, MethodId, Prediction};
 
 /// Count-based first-order Markov chain over `n` states with Laplace smoothing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -188,6 +188,20 @@ impl FlowPredictor for MarkovPredictor {
     }
 }
 
+impl GenerativePredictor for MarkovPredictor {
+    fn predict_distribution(&self, sample: &RawSample) -> (Vec<f64>, Vec<f64>) {
+        let cu = match sample.cu_history.last() {
+            Some(&state) => self.cu_chain.row(state).to_vec(),
+            None => self.cu_chain.marginal().to_vec(),
+        };
+        let duration = match sample.prev_duration_class {
+            Some(state) => self.duration_chain.row(state).to_vec(),
+            None => self.duration_chain.marginal().to_vec(),
+        };
+        (cu, duration)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +242,24 @@ mod tests {
             gw_share > 0.8,
             "MC should mostly predict GW, got share {gw_share}"
         );
+    }
+
+    #[test]
+    fn markov_distribution_is_the_transition_row_of_the_current_state() {
+        let ds = Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(62)));
+        let mc = MarkovPredictor::train(&ds);
+        for s in ds.samples.iter().take(10) {
+            let (pc, pd) = mc.predict_distribution(s);
+            assert!((pc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((pd.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            match s.cu_history.last() {
+                Some(&c) => assert_eq!(pc, mc.cu_chain().row(c)),
+                None => assert_eq!(pc, mc.cu_chain().marginal()),
+            }
+            let pred = mc.predict_sample(s);
+            assert_eq!(pfp_math::softmax::argmax(&pc), pred.cu);
+            assert_eq!(pfp_math::softmax::argmax(&pd), pred.duration);
+        }
     }
 
     #[test]

@@ -88,6 +88,18 @@ pub trait FlowPredictor {
     fn predict_sample(&self, sample: &RawSample) -> Prediction;
 }
 
+/// A predictor that exposes its full predictive distributions, not just the
+/// argmax.  The closed-loop census forecaster (`pfp-eval::scenario`) needs
+/// this: rolling a patient forward generatively means *sampling*
+/// `(destination, duration)` from `(p(c | ·), p(d | ·))` so that Monte-Carlo
+/// rollouts carry the model's own uncertainty, and a what-if unit closure
+/// means renormalising the destination distribution over the open units.
+pub trait GenerativePredictor: FlowPredictor {
+    /// The `(p(c | sample), p(d | sample))` predictive distributions; each
+    /// vector is a probability distribution over `num_cus` / `num_durations`.
+    fn predict_distribution(&self, sample: &RawSample) -> (Vec<f64>, Vec<f64>);
+}
+
 /// Adapter exposing [`DmcpModel`] (and its LR / MPP / SCP / imbalance
 /// variants) through the [`FlowPredictor`] trait.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -153,6 +165,17 @@ impl FlowPredictor for DmcpPredictor {
             sample.t_prev,
         );
         Prediction { cu, duration }
+    }
+}
+
+impl GenerativePredictor for DmcpPredictor {
+    fn predict_distribution(&self, sample: &RawSample) -> (Vec<f64>, Vec<f64>) {
+        self.model.probabilities_raw(
+            &sample.profile,
+            &sample.history,
+            sample.t_eval,
+            sample.t_prev,
+        )
     }
 }
 
@@ -235,6 +258,22 @@ mod tests {
             let pred = p.predict_sample(raw);
             assert!(pred.cu < ds.num_cus);
             assert!(pred.duration < ds.num_durations);
+        }
+    }
+
+    #[test]
+    fn dmcp_distribution_is_normalised_and_matches_the_argmax() {
+        let ds = dataset();
+        let p = DmcpPredictor::train(&ds, &TrainConfig::fast(), MethodId::Dmcp);
+        for raw in ds.samples.iter().take(10) {
+            let (pc, pd) = p.predict_distribution(raw);
+            assert_eq!(pc.len(), ds.num_cus);
+            assert_eq!(pd.len(), ds.num_durations);
+            assert!((pc.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((pd.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let pred = p.predict_sample(raw);
+            assert_eq!(pfp_math::softmax::argmax(&pc), pred.cu);
+            assert_eq!(pfp_math::softmax::argmax(&pd), pred.duration);
         }
     }
 

@@ -55,12 +55,23 @@ pub fn representative_dwell_days(duration_class: usize, num_durations: usize) ->
 }
 
 /// Occupancy of a trajectory described by `(cu, entry, dwell)` triples,
-/// sampled at the midpoint of each day in `0..CENSUS_DAYS`.
+/// sampled at the midpoint of each day (`census[cu].len()` days are probed).
+///
+/// A stay covers the half-open interval `[entry, entry + dwell)`, so a stay
+/// entering exactly on a day boundary counts from that day and a trajectory
+/// ending mid-day stops counting at its exit: each day's probe instant finds
+/// the patient in **at most one** care unit (the first covering stay wins;
+/// validated records have contiguous non-overlapping stays, so the match is
+/// unique), never two, and a patient whose trajectory has ended contributes
+/// nothing.  Sub-day stays that straddle the midpoint are counted; sub-day
+/// stays that fall entirely between probes are invisible — that is the
+/// midpoint-sampling semantic, not a drop.
 // `day` indexes the *inner* vectors while the outer index comes from the
 // matched stay, so there is no single slice to enumerate over.
 #[allow(clippy::needless_range_loop)]
-fn occupancy(stays: &[(usize, f64, f64)], census: &mut [Vec<usize>]) {
-    for day in 0..CENSUS_DAYS {
+pub fn occupancy(stays: &[(usize, f64, f64)], census: &mut [Vec<usize>]) {
+    let num_days = census.first().map_or(0, Vec::len);
+    for day in 0..num_days {
         let probe = day as f64 + 0.5;
         if let Some(&(cu, _, _)) = stays
             .iter()
@@ -69,6 +80,48 @@ fn occupancy(stays: &[(usize, f64, f64)], census: &mut [Vec<usize>]) {
             census[cu][day] += 1;
         }
     }
+}
+
+/// Per-CU `Err_c` and the occupancy-weighted overall `Err_C` from actual vs
+/// predicted per-CU/per-day occupancy.  Fractional counts are allowed — the
+/// Monte-Carlo census forecaster compares rollout *means* against actual
+/// integer counts.  The `max(N, 1)` guard keeps zero-occupancy days finite:
+/// a unit that is actually empty scores `|N̂|` per day instead of dividing by
+/// zero.
+pub fn census_errors_f64(actual: &[Vec<f64>], predicted: &[Vec<f64>]) -> (Vec<f64>, f64) {
+    assert_eq!(actual.len(), predicted.len(), "care-unit count mismatch");
+    let mut per_cu_error = Vec::with_capacity(actual.len());
+    for (a_row, p_row) in actual.iter().zip(predicted) {
+        assert_eq!(a_row.len(), p_row.len(), "day count mismatch");
+        assert!(!a_row.is_empty(), "need at least one census day");
+        let err: f64 = a_row
+            .iter()
+            .zip(p_row)
+            .map(|(&n, &nh)| (n - nh).abs() / n.max(1.0))
+            .sum();
+        per_cu_error.push(err / a_row.len() as f64);
+    }
+    // Occupancy-weighted average of the per-unit errors (see module docs for
+    // why the paper's "total count" version degenerates here).
+    let weights: Vec<f64> = actual.iter().map(|row| row.iter().sum()).collect();
+    let total_weight: f64 = weights.iter().sum::<f64>().max(1.0);
+    let overall_error = per_cu_error
+        .iter()
+        .zip(&weights)
+        .map(|(e, w)| e * w)
+        .sum::<f64>()
+        / total_weight;
+    (per_cu_error, overall_error)
+}
+
+/// [`census_errors_f64`] over integer occupancy counts.
+pub fn census_errors(actual: &[Vec<usize>], predicted: &[Vec<usize>]) -> (Vec<f64>, f64) {
+    let to_f64 = |m: &[Vec<usize>]| -> Vec<Vec<f64>> {
+        m.iter()
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect()
+    };
+    census_errors_f64(&to_f64(actual), &to_f64(predicted))
 }
 
 /// Simulate the census of the held-out patients under `predictor` and compare
@@ -91,28 +144,7 @@ pub fn simulate_census(predictor: &dyn FlowPredictor, test: &Dataset) -> CensusR
         occupancy(&rollout, &mut simulated);
     }
 
-    let mut per_cu_error = Vec::with_capacity(NUM_CARE_UNITS);
-    for cu in 0..NUM_CARE_UNITS {
-        let mut err = 0.0;
-        for day in 0..CENSUS_DAYS {
-            let n = actual[cu][day] as f64;
-            let nh = simulated[cu][day] as f64;
-            err += (n - nh).abs() / n.max(1.0);
-        }
-        per_cu_error.push(err / CENSUS_DAYS as f64);
-    }
-    // Occupancy-weighted average of the per-unit errors (see module docs for
-    // why the paper's "total count" version degenerates here).
-    let occupancy_weight: Vec<f64> = (0..NUM_CARE_UNITS)
-        .map(|cu| actual[cu].iter().sum::<usize>() as f64)
-        .collect();
-    let total_weight: f64 = occupancy_weight.iter().sum::<f64>().max(1.0);
-    let overall_error = per_cu_error
-        .iter()
-        .zip(occupancy_weight.iter())
-        .map(|(e, w)| e * w)
-        .sum::<f64>()
-        / total_weight;
+    let (per_cu_error, overall_error) = census_errors(&actual, &simulated);
 
     CensusResult {
         actual,
@@ -143,8 +175,21 @@ fn rollout_patient(
     let mut prev_duration: Option<usize> = None;
     let service_dim = first.services.dim();
 
-    // Up to 12 predicted hops comfortably covers a one-week horizon.
-    for _ in 0..12 {
+    // Roll until the trajectory covers the horizon.  Representative dwells
+    // are ≥ 1 day, so a one-week horizon needs at most 8 hops; the cap is a
+    // loud safety valve against a degenerate dwell model, not a silent
+    // truncation point — a capped rollout would quietly drop the patient
+    // from the tail of the census, the same bug class as an unflagged
+    // thinning truncation.
+    const MAX_ROLLOUT_STAYS: usize = 64;
+    let horizon = CENSUS_DAYS as f64;
+    while entry <= horizon {
+        assert!(
+            stays.len() < MAX_ROLLOUT_STAYS,
+            "census rollout for patient {} exceeded {MAX_ROLLOUT_STAYS} stays \
+             before covering the {horizon}-day horizon (degenerate dwell model)",
+            patient.id
+        );
         let sample = RawSample {
             patient_id: patient.id,
             profile: patient.profile.clone(),
@@ -162,9 +207,6 @@ fn rollout_patient(
         stays.push((current_cu, entry, dwell));
 
         let next_entry = entry + dwell;
-        if next_entry > CENSUS_DAYS as f64 {
-            break;
-        }
         prev_entry = entry;
         prev_duration = Some(prediction.duration);
         entry = next_entry;
@@ -214,6 +256,130 @@ mod tests {
         }
         assert_eq!(representative_dwell_days(0, 8), 1.0);
         assert_eq!(representative_dwell_days(7, 8), 10.0);
+    }
+
+    #[test]
+    fn representative_dwell_open_ended_sentinel() {
+        // The last class is always the open-ended ">7 days" bucket and maps
+        // to the 10-day sentinel — including the degenerate single-class
+        // scheme, where the only class IS the open-ended one.
+        assert_eq!(representative_dwell_days(0, 1), 10.0);
+        assert_eq!(representative_dwell_days(0, 2), 1.0);
+        assert_eq!(representative_dwell_days(1, 2), 10.0);
+        assert_eq!(representative_dwell_days(6, 8), 7.0);
+    }
+
+    #[test]
+    fn census_errors_survive_zero_occupancy_units() {
+        // A unit that is actually empty all week but simulated occupied: the
+        // max(N, 1) guard scores |N̂| per day instead of dividing by zero.
+        let actual = vec![vec![0usize; CENSUS_DAYS], vec![1; CENSUS_DAYS]];
+        let simulated = vec![vec![2usize; CENSUS_DAYS], vec![1; CENSUS_DAYS]];
+        let (per_cu, overall) = census_errors(&actual, &simulated);
+        assert_eq!(per_cu[0], 2.0);
+        assert_eq!(per_cu[1], 0.0);
+        // The empty unit carries zero occupancy weight, so it cannot drag
+        // the overall error despite its large per-unit error.
+        assert_eq!(overall, 0.0);
+        assert!(per_cu.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn census_errors_survive_an_entirely_empty_hospital() {
+        // All-zero actual occupancy: the total-weight max(·, 1) guard keeps
+        // the overall error defined (and zero) instead of 0/0.
+        let actual = vec![vec![0usize; CENSUS_DAYS]; 2];
+        let simulated = vec![vec![3usize; CENSUS_DAYS]; 2];
+        let (per_cu, overall) = census_errors(&actual, &simulated);
+        assert!(per_cu.iter().all(|e| e.is_finite()));
+        assert_eq!(overall, 0.0);
+    }
+
+    #[test]
+    fn occupancy_entry_on_day_boundary_counts_from_that_day() {
+        let mut census = vec![vec![0usize; CENSUS_DAYS]; 2];
+        // Entry exactly at the day-1 boundary, 2-day dwell: occupies days 1
+        // and 2 only — the day-0 probe (0.5) precedes the entry, and the
+        // day-3 probe (3.5) is past the exit at 3.0.
+        occupancy(&[(0, 1.0, 2.0)], &mut census);
+        assert_eq!(census[0], vec![0, 1, 1, 0, 0, 0, 0]);
+        assert_eq!(census[1], vec![0; CENSUS_DAYS]);
+    }
+
+    #[test]
+    fn occupancy_exit_exactly_on_probe_does_not_count() {
+        let mut census = vec![vec![0usize; CENSUS_DAYS]; 1];
+        // The stay covers [0, 1.5): the day-1 probe at exactly 1.5 is outside
+        // the half-open interval, so only day 0 counts.
+        occupancy(&[(0, 0.0, 1.5)], &mut census);
+        assert_eq!(census[0], vec![1, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn occupancy_sub_day_stays_count_at_most_one_cu_per_day() {
+        let mut census = vec![vec![0usize; CENSUS_DAYS]; 3];
+        // Three contiguous stays inside day 0; only the one covering the
+        // midpoint probe is counted, and exactly one unit gets the patient.
+        occupancy(&[(0, 0.0, 0.4), (1, 0.4, 0.2), (2, 0.6, 6.4)], &mut census);
+        let day0: usize = (0..3).map(|cu| census[cu][0]).sum();
+        assert_eq!(day0, 1, "a patient must be in at most one CU per day");
+        assert_eq!(census[1][0], 1, "the midpoint-covering stay wins");
+        // The long final stay covers every remaining probe through day 6.
+        assert_eq!(census[2], vec![0, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn occupancy_trajectory_ending_mid_day_stops_counting_at_exit() {
+        let mut census = vec![vec![0usize; CENSUS_DAYS]; 1];
+        // Exit at 2.4: probes 0.5 and 1.5 are inside, 2.5 is past the exit —
+        // the discharged patient must not linger in the census.
+        occupancy(&[(0, 0.0, 2.4)], &mut census);
+        assert_eq!(census[0], vec![1, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn actual_occupancy_per_day_sums_to_live_patients() {
+        // Property: on every sampled day, summing the actual census over all
+        // CUs equals the number of patients whose trajectory covers the probe
+        // instant — no double-counts (a patient in two units) and no drops
+        // (a live patient in none).  Holds because validated records have
+        // contiguous non-overlapping stays.
+        let ds = dataset();
+        let predictor = Constant { cu: 7, duration: 3 };
+        let result = simulate_census(&predictor, &ds);
+        for day in 0..CENSUS_DAYS {
+            let probe = day as f64 + 0.5;
+            let live = ds
+                .patients
+                .iter()
+                .filter(|p| {
+                    let start = p.stays.first().expect("non-empty record").entry_time;
+                    let end = p.stays.last().expect("non-empty record").exit_time();
+                    probe >= start && probe < end
+                })
+                .count();
+            let counted: usize = (0..NUM_CARE_UNITS).map(|cu| result.actual[cu][day]).sum();
+            assert_eq!(
+                counted, live,
+                "day {day}: census sum must equal live patients"
+            );
+        }
+    }
+
+    #[test]
+    fn rollout_covers_every_day_with_shortest_dwells() {
+        // Regression for the old fixed hop cap: with the shortest duration
+        // class the rollout needs 8 hops to span the week, and every probe
+        // day must still find every admitted patient somewhere.
+        let ds = dataset();
+        let predictor = Constant { cu: 2, duration: 0 };
+        let result = simulate_census(&predictor, &ds);
+        for day in 0..CENSUS_DAYS {
+            let total: usize = (0..NUM_CARE_UNITS)
+                .map(|cu| result.simulated[cu][day])
+                .sum();
+            assert_eq!(total, ds.patients.len(), "day {day} dropped patients");
+        }
     }
 
     #[test]

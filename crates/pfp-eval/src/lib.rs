@@ -12,6 +12,9 @@
 //!   `AC_D`, confusion matrices.
 //! * [`census`] — 7-day patient-census simulation and the relative
 //!   simulation error `Err_c` / `Err_C`.
+//! * [`scenario`] — closed-loop Monte-Carlo census forecasting (the trained
+//!   model rolled forward generatively) and the what-if engine: admission
+//!   surges, unit closures, LOS shifts, scored with `Err_c` / `Err_C`.
 //! * [`cv`] — 10-fold cross-validation with fold-parallel training.
 //! * [`experiments`] — one function per paper table/figure returning a
 //!   serialisable report (used by the `pfp-bench` reproduction binaries).
@@ -21,5 +24,6 @@ pub mod cv;
 pub mod dataset;
 pub mod experiments;
 pub mod metrics;
+pub mod scenario;
 
 pub use dataset::build_dataset;

@@ -1,0 +1,917 @@
+//! Closed-loop census forecasting and what-if scenario simulation.
+//!
+//! [`census`](crate::census) replays each held-out patient under a
+//! predictor's *argmax* — one deterministic trajectory per patient.  This
+//! module instead rolls the trained model forward as a **generative** model:
+//! each hop *samples* `(destination, duration)` from the model's predictive
+//! distribution ([`GenerativePredictor`]), appends the stay, re-featurizes,
+//! and repeats until the trajectory covers the horizon.  Seeded Monte-Carlo
+//! rollouts of the whole hospital then yield per-CU occupancy forecasts with
+//! uncertainty bands — the model's own predictive uncertainty, propagated
+//! through the closed loop (model → sampler → featurizer → census).
+//!
+//! On top of the forecaster sits a declarative what-if engine: a
+//! [`Scenario`] is a list of [`Perturbation`]s —
+//!
+//! * **admission surges** scale the base rate of the Hawkes
+//!   [`AdmissionModel`] that feeds new patients into the network;
+//! * **unit closures** mask a care unit out of every destination
+//!   distribution (mass renormalised over the open units) and reroute
+//!   observed admissions into the closed unit;
+//! * **LOS shifts** scale the sampled dwell of stays in one department.
+//!
+//! Each scenario is evaluated against the unperturbed baseline with the
+//! paper's `Err_c` / `Err_C` census metrics (Section 4.1; see EXPERIMENTS.md
+//! for the exact scenario definitions and the `Err_C` weighting deviation).
+//!
+//! Determinism: every rollout draws from an RNG derived as
+//! `derive_seed(seed, rollout_index)`, so forecasts are bitwise-reproducible
+//! at a fixed seed and independent of evaluation order.  The admission
+//! stream is simulated by Ogata thinning with a hard event cap; a truncated
+//! admission path would silently understate the census, so truncation is a
+//! loud panic here, never a quiet short path.
+
+use pfp_baselines::GenerativePredictor;
+use pfp_core::dataset::{Dataset, RawSample};
+use pfp_core::features::HistoryStay;
+use pfp_ehr::departments::CareUnit;
+use pfp_math::rng::{derive_seed, sample_categorical, seeded_rng};
+use pfp_math::SparseVec;
+use pfp_point_process::kernels::{KernelKind, ParametricIntensity};
+use pfp_point_process::simulate::{simulate, ThinningConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::census::{census_errors_f64, occupancy, representative_dwell_days, CENSUS_DAYS};
+
+/// Hard cap on sampled stays per rollout trajectory.  With dwells clamped at
+/// [`MIN_DWELL_DAYS`] a week-long horizon needs at most `7 / 0.05 = 140`
+/// hops, so the cap only fires on a logic error — and fires loudly.
+const MAX_ROLLOUT_STAYS: usize = 4096;
+
+/// Floor on a perturbed dwell (days).  Keeps LOS-shift scenarios from
+/// producing zero-length stays that would spin the rollout loop forever.
+pub const MIN_DWELL_DAYS: f64 = 0.05;
+
+/// A Hawkes admission stream feeding new patients into the simulated
+/// hospital network: base rate `base_rate` admissions/day, each admission
+/// exciting `branching` expected follow-on admissions with exponential decay
+/// `decay` (days⁻¹).  `branching < 1` keeps the process subcritical; surge
+/// scenarios scale the *base rate* only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionModel {
+    /// Baseline admission intensity (admissions per day).
+    pub base_rate: f64,
+    /// Expected number of excited follow-on admissions per admission.
+    pub branching: f64,
+    /// Exponential decay rate of the excitation (days⁻¹).
+    pub decay: f64,
+    /// Hard cap handed to the thinning simulator.  A truncated admission
+    /// path is a panic, so set this well above any plausible draw.
+    pub max_admissions: usize,
+}
+
+impl Default for AdmissionModel {
+    fn default() -> Self {
+        Self {
+            base_rate: 2.0,
+            branching: 0.3,
+            decay: 1.0,
+            max_admissions: 10_000,
+        }
+    }
+}
+
+impl AdmissionModel {
+    /// Admission stream sized to a cohort: `cohort_size / horizon` per day
+    /// keeps the simulated hospital roughly as busy as the observed one.
+    pub fn for_cohort(cohort_size: usize, horizon_days: usize) -> Self {
+        Self {
+            base_rate: (cohort_size as f64 / horizon_days.max(1) as f64).max(0.1),
+            ..Self::default()
+        }
+    }
+
+    /// Simulate admission times on `(0, horizon]` with the base rate scaled
+    /// by `scale` (what-if surges).
+    ///
+    /// # Panics
+    /// Panics if the thinning simulator truncates at `max_admissions` before
+    /// the horizon: a quietly-short admission path would corrupt every census
+    /// count downstream, so it is surfaced here, never returned.
+    pub fn simulate_admissions(&self, scale: f64, horizon: f64, rng: &mut impl Rng) -> Vec<f64> {
+        assert!(
+            self.base_rate >= 0.0 && self.base_rate.is_finite(),
+            "admission base rate must be finite and non-negative"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.branching),
+            "branching ratio must be in [0, 1) for a subcritical stream, got {}",
+            self.branching
+        );
+        assert!(self.decay > 0.0, "excitation decay must be positive");
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "admission scale must be positive and finite"
+        );
+        // Under the repo's sign convention (Eq. 3) negative beta *excites*:
+        // each admission adds `-beta · exp(-decay · Δt)` to the intensity,
+        // integrating to `-beta / decay` expected children — so
+        // `beta = -branching · decay`.
+        let intensity = ParametricIntensity::scalar(
+            KernelKind::Hawkes { decay: self.decay },
+            self.base_rate * scale,
+            -self.branching * self.decay,
+        );
+        let config = ThinningConfig {
+            max_events: self.max_admissions,
+            ..ThinningConfig::default()
+        };
+        let seq = simulate(&intensity, horizon, rng, &config);
+        assert!(
+            !seq.truncated(),
+            "admission stream truncated at {} events before the {horizon}-day \
+             horizon (base_rate {}, scale {scale}): raise max_admissions or \
+             lower the surge — a truncated path would corrupt the census",
+            self.max_admissions,
+            self.base_rate,
+        );
+        seq.events().iter().map(|e| e.time).collect()
+    }
+}
+
+/// One declarative what-if perturbation of the simulated hospital.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// Scale the admission stream's base rate (`> 1` = surge, `< 1` = lull).
+    AdmissionSurge {
+        /// Multiplier on the Hawkes base rate.
+        scale: f64,
+    },
+    /// Close a care unit: no rollout may route a patient there.  Predicted
+    /// transfers renormalise their destination probabilities over the open
+    /// units; observed admissions into the closed unit reroute to the
+    /// general ward (or the lowest-index open unit if GW is closed too).
+    UnitClosure {
+        /// Index of the closed care unit.
+        cu: usize,
+    },
+    /// Scale the sampled dwell of every stay in one department (length-of-
+    /// stay shift, e.g. a discharge-process slowdown).
+    LosShift {
+        /// Index of the affected care unit.
+        cu: usize,
+        /// Dwell multiplier (`> 1` = longer stays).
+        factor: f64,
+    },
+}
+
+/// A named bundle of perturbations, applied together.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name (table row label).
+    pub name: String,
+    /// The perturbations, applied jointly.  Multiple surges multiply;
+    /// multiple LOS shifts on the same unit multiply.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl Scenario {
+    /// The unperturbed baseline.
+    pub fn baseline() -> Self {
+        Self {
+            name: "baseline".to_string(),
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// An empty named scenario; chain [`Scenario::with`] to add perturbations.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Add a perturbation (builder style).
+    pub fn with(mut self, p: Perturbation) -> Self {
+        self.perturbations.push(p);
+        self
+    }
+}
+
+/// Scenario resolved against a concrete hospital: per-CU masks and factors.
+#[derive(Debug, Clone)]
+struct ResolvedScenario {
+    admission_scale: f64,
+    closed: Vec<bool>,
+    los_factor: Vec<f64>,
+}
+
+impl ResolvedScenario {
+    /// Validate and flatten a [`Scenario`] for a hospital with `num_cus`
+    /// care units.
+    ///
+    /// # Panics
+    /// Panics on out-of-range unit indices, non-positive scales/factors, or
+    /// a scenario that closes every care unit.
+    fn resolve(scenario: &Scenario, num_cus: usize) -> Self {
+        let mut resolved = Self {
+            admission_scale: 1.0,
+            closed: vec![false; num_cus],
+            los_factor: vec![1.0; num_cus],
+        };
+        for p in &scenario.perturbations {
+            match *p {
+                Perturbation::AdmissionSurge { scale } => {
+                    assert!(
+                        scale > 0.0 && scale.is_finite(),
+                        "scenario {:?}: surge scale must be positive and finite, got {scale}",
+                        scenario.name
+                    );
+                    resolved.admission_scale *= scale;
+                }
+                Perturbation::UnitClosure { cu } => {
+                    assert!(
+                        cu < num_cus,
+                        "scenario {:?}: closed unit {cu} out of range {num_cus}",
+                        scenario.name
+                    );
+                    resolved.closed[cu] = true;
+                }
+                Perturbation::LosShift { cu, factor } => {
+                    assert!(
+                        cu < num_cus,
+                        "scenario {:?}: LOS-shifted unit {cu} out of range {num_cus}",
+                        scenario.name
+                    );
+                    assert!(
+                        factor > 0.0 && factor.is_finite(),
+                        "scenario {:?}: LOS factor must be positive and finite, got {factor}",
+                        scenario.name
+                    );
+                    resolved.los_factor[cu] *= factor;
+                }
+            }
+        }
+        assert!(
+            resolved.closed.iter().any(|&c| !c),
+            "scenario {:?} closes every care unit — at least one must stay open",
+            scenario.name
+        );
+        resolved
+    }
+
+    /// Where an observed admission into `preferred` actually lands.
+    fn reroute_admission(&self, preferred: usize) -> usize {
+        if !self.closed[preferred] {
+            return preferred;
+        }
+        let gw = CareUnit::Gw.index();
+        if gw < self.closed.len() && !self.closed[gw] {
+            return gw;
+        }
+        self.closed
+            .iter()
+            .position(|&c| !c)
+            .expect("resolve() guarantees at least one open unit")
+    }
+
+    /// Sample a destination from `probs` restricted to the open units.
+    ///
+    /// The closed-unit mass is renormalised over the open units implicitly
+    /// (categorical sampling over the masked weights).  If *all* remaining
+    /// mass sits on closed units the draw falls back to uniform over the
+    /// open units explicitly — [`sample_categorical`]'s own all-zero
+    /// fallback is uniform over *every* index and would resurrect closed
+    /// units.
+    fn sample_open_destination(&self, rng: &mut impl Rng, probs: &[f64]) -> usize {
+        let masked: Vec<f64> = probs
+            .iter()
+            .zip(&self.closed)
+            .map(|(&p, &closed)| if closed { 0.0 } else { p })
+            .collect();
+        if masked
+            .iter()
+            .filter(|w| w.is_finite() && **w > 0.0)
+            .sum::<f64>()
+            > 0.0
+        {
+            sample_categorical(rng, &masked)
+        } else {
+            let open: Vec<usize> = (0..self.closed.len())
+                .filter(|&i| !self.closed[i])
+                .collect();
+            open[rng.gen_range(0..open.len())]
+        }
+    }
+}
+
+/// Configuration of the Monte-Carlo census forecaster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// Number of census days to forecast.
+    pub horizon_days: usize,
+    /// Number of Monte-Carlo rollouts of the whole hospital.
+    pub rollouts: usize,
+    /// Base seed; rollout `r` draws from `derive_seed(seed, r)`.
+    pub seed: u64,
+    /// Quantile levels of the uncertainty band, e.g. `(0.1, 0.9)`.
+    pub band: (f64, f64),
+    /// Optional admission stream feeding new patients into the network.
+    /// `None` replays exactly the held-out patients (the paper's census
+    /// setting); surges require `Some`.
+    pub admissions: Option<AdmissionModel>,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            horizon_days: CENSUS_DAYS,
+            rollouts: 40,
+            seed: 42,
+            band: (0.1, 0.9),
+            admissions: None,
+        }
+    }
+}
+
+/// A per-CU, per-day occupancy forecast with uncertainty bands: Monte-Carlo
+/// mean and the configured lower/upper quantiles across rollouts, each
+/// indexed `[cu][day]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensusForecast {
+    /// Mean occupancy across rollouts.
+    pub mean: Vec<Vec<f64>>,
+    /// Lower band quantile across rollouts.
+    pub lo: Vec<Vec<f64>>,
+    /// Upper band quantile across rollouts.
+    pub hi: Vec<Vec<f64>>,
+    /// Number of rollouts aggregated.
+    pub rollouts: usize,
+}
+
+impl CensusForecast {
+    /// Total expected patient-days across all units and days.
+    pub fn total_patient_days(&self) -> f64 {
+        self.mean.iter().flatten().sum()
+    }
+}
+
+/// Roll one patient forward from admission, sampling every hop.
+#[allow(clippy::too_many_arguments)]
+fn rollout_sampled(
+    predictor: &dyn GenerativePredictor,
+    patient_id: usize,
+    profile: &SparseVec,
+    admit_cu: usize,
+    admit_services: &SparseVec,
+    admit_time: f64,
+    num_durations: usize,
+    resolved: &ResolvedScenario,
+    horizon: f64,
+    rng: &mut impl Rng,
+) -> Vec<(usize, f64, f64)> {
+    let mut history = vec![HistoryStay {
+        entry_time: admit_time,
+        services: admit_services.clone(),
+    }];
+    let mut cu_history = vec![resolved.reroute_admission(admit_cu)];
+    let mut stays: Vec<(usize, f64, f64)> = Vec::new();
+    let mut entry = admit_time;
+    let mut prev_entry = 0.0;
+    let mut prev_duration: Option<usize> = None;
+    let service_dim = admit_services.dim();
+
+    while entry <= horizon {
+        assert!(
+            stays.len() < MAX_ROLLOUT_STAYS,
+            "sampled rollout for patient {patient_id} exceeded {MAX_ROLLOUT_STAYS} \
+             stays before covering the {horizon}-day horizon"
+        );
+        let sample = RawSample {
+            patient_id,
+            profile: profile.clone(),
+            history: history.clone(),
+            cu_history: cu_history.clone(),
+            prev_duration_class: prev_duration,
+            t_eval: entry + pfp_core::features::EVAL_OFFSET_DAYS,
+            t_prev: prev_entry,
+            cu_label: 0,
+            duration_label: 0,
+        };
+        let (cu_probs, dur_probs) = predictor.predict_distribution(&sample);
+        let duration = sample_categorical(rng, &dur_probs);
+        let current_cu = *cu_history.last().expect("non-empty history");
+        let dwell = (representative_dwell_days(duration, num_durations)
+            * resolved.los_factor[current_cu])
+            .max(MIN_DWELL_DAYS);
+        stays.push((current_cu, entry, dwell));
+
+        let next_cu = resolved.sample_open_destination(rng, &cu_probs);
+        let next_entry = entry + dwell;
+        prev_entry = entry;
+        prev_duration = Some(duration);
+        entry = next_entry;
+        cu_history.push(next_cu);
+        history.push(HistoryStay {
+            entry_time: next_entry,
+            services: SparseVec::new(service_dim),
+        });
+    }
+    stays
+}
+
+/// The actual census of the held-out patients over `horizon_days`.
+pub fn actual_census(test: &Dataset, horizon_days: usize) -> Vec<Vec<usize>> {
+    let mut census = vec![vec![0usize; horizon_days]; test.num_cus];
+    for patient in &test.patients {
+        let stays: Vec<(usize, f64, f64)> = patient
+            .stays
+            .iter()
+            .map(|s| (s.cu, s.entry_time, s.dwell_days))
+            .collect();
+        occupancy(&stays, &mut census);
+    }
+    census
+}
+
+/// Nearest-rank quantile of an unsorted sample (small `n`, exact ties fine).
+fn quantile(values: &mut [f64], q: f64) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("occupancy counts are finite"));
+    let idx = ((values.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    values[idx]
+}
+
+/// Forecast the per-CU census under `scenario` with seeded Monte-Carlo
+/// rollouts of the whole hospital network.
+///
+/// Every rollout replays each held-out patient from their observed admission
+/// (unit rerouted if closed), sampling each subsequent `(destination,
+/// duration)` from the predictor's distributions, then (if configured)
+/// layers a Hawkes admission stream on top: each arrival bootstraps an
+/// incoming patient from the held-out pool (profile + admission unit +
+/// admission services) and is rolled forward the same way.
+pub fn forecast_census(
+    predictor: &dyn GenerativePredictor,
+    test: &Dataset,
+    scenario: &Scenario,
+    config: &ForecastConfig,
+) -> CensusForecast {
+    assert!(config.horizon_days > 0, "need at least one forecast day");
+    assert!(config.rollouts > 0, "need at least one rollout");
+    assert!(
+        !test.patients.is_empty(),
+        "cannot forecast an empty test cohort"
+    );
+    let resolved = ResolvedScenario::resolve(scenario, test.num_cus);
+    let days = config.horizon_days;
+    let horizon = days as f64;
+
+    let mut per_rollout: Vec<Vec<Vec<usize>>> = Vec::with_capacity(config.rollouts);
+    for rollout in 0..config.rollouts {
+        let mut rng = seeded_rng(derive_seed(config.seed, rollout as u64));
+        let mut counts = vec![vec![0usize; days]; test.num_cus];
+
+        for patient in &test.patients {
+            let first = &patient.stays[0];
+            let stays = rollout_sampled(
+                predictor,
+                patient.id,
+                &patient.profile,
+                first.cu,
+                &first.services,
+                first.entry_time,
+                test.num_durations,
+                &resolved,
+                horizon,
+                &mut rng,
+            );
+            occupancy(&stays, &mut counts);
+        }
+
+        if let Some(admissions) = &config.admissions {
+            let arrivals =
+                admissions.simulate_admissions(resolved.admission_scale, horizon, &mut rng);
+            for arrival_time in arrivals {
+                let donor = &test.patients[rng.gen_range(0..test.patients.len())];
+                let first = &donor.stays[0];
+                let stays = rollout_sampled(
+                    predictor,
+                    donor.id,
+                    &donor.profile,
+                    first.cu,
+                    &first.services,
+                    arrival_time,
+                    test.num_durations,
+                    &resolved,
+                    horizon,
+                    &mut rng,
+                );
+                occupancy(&stays, &mut counts);
+            }
+        }
+        per_rollout.push(counts);
+    }
+
+    let mut mean = vec![vec![0.0; days]; test.num_cus];
+    let mut lo = vec![vec![0.0; days]; test.num_cus];
+    let mut hi = vec![vec![0.0; days]; test.num_cus];
+    let mut cell = vec![0.0; config.rollouts];
+    for cu in 0..test.num_cus {
+        for day in 0..days {
+            for (r, counts) in per_rollout.iter().enumerate() {
+                cell[r] = counts[cu][day] as f64;
+            }
+            mean[cu][day] = cell.iter().sum::<f64>() / config.rollouts as f64;
+            lo[cu][day] = quantile(&mut cell, config.band.0);
+            hi[cu][day] = quantile(&mut cell, config.band.1);
+        }
+    }
+    CensusForecast {
+        mean,
+        lo,
+        hi,
+        rollouts: config.rollouts,
+    }
+}
+
+/// One evaluated scenario: its forecast plus its census divergence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario this report evaluates.
+    pub scenario: Scenario,
+    /// The Monte-Carlo census forecast under the scenario.
+    pub forecast: CensusForecast,
+    /// Per-unit `Err_c` against the reference census (the actual census for
+    /// the baseline report; the baseline forecast mean for what-if reports).
+    pub per_cu_error: Vec<f64>,
+    /// Occupancy-weighted overall `Err_C` against the same reference.
+    pub overall_error: f64,
+}
+
+/// Baseline + what-if scenario suite, evaluated against one test cohort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfReport {
+    /// Actual census of the held-out patients (`[cu][day]`).
+    pub actual: Vec<Vec<usize>>,
+    /// The unperturbed baseline forecast, scored against the actual census.
+    pub baseline: ScenarioReport,
+    /// Each what-if scenario, scored against the *baseline forecast mean* —
+    /// the divergence a planner would act on.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Run the baseline and every what-if scenario under one predictor.
+pub fn evaluate_scenarios(
+    predictor: &dyn GenerativePredictor,
+    test: &Dataset,
+    scenarios: &[Scenario],
+    config: &ForecastConfig,
+) -> WhatIfReport {
+    let actual = actual_census(test, config.horizon_days);
+    let actual_f64: Vec<Vec<f64>> = actual
+        .iter()
+        .map(|row| row.iter().map(|&v| v as f64).collect())
+        .collect();
+
+    let baseline_forecast = forecast_census(predictor, test, &Scenario::baseline(), config);
+    let (per_cu_error, overall_error) = census_errors_f64(&actual_f64, &baseline_forecast.mean);
+    let baseline = ScenarioReport {
+        scenario: Scenario::baseline(),
+        forecast: baseline_forecast,
+        per_cu_error,
+        overall_error,
+    };
+
+    let scenario_reports = scenarios
+        .iter()
+        .map(|scenario| {
+            let forecast = forecast_census(predictor, test, scenario, config);
+            let (per_cu_error, overall_error) =
+                census_errors_f64(&baseline.forecast.mean, &forecast.mean);
+            ScenarioReport {
+                scenario: scenario.clone(),
+                forecast,
+                per_cu_error,
+                overall_error,
+            }
+        })
+        .collect();
+
+    WhatIfReport {
+        actual,
+        baseline,
+        scenarios: scenario_reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfp_baselines::{FlowPredictor, MarkovPredictor, MethodId, Prediction};
+    use pfp_ehr::{generate_cohort, CohortConfig};
+
+    /// Deterministic test double with fixed predictive distributions.
+    struct StubGen {
+        cu_probs: Vec<f64>,
+        dur_probs: Vec<f64>,
+    }
+
+    impl FlowPredictor for StubGen {
+        fn method(&self) -> MethodId {
+            MethodId::Mc
+        }
+        fn predict_sample(&self, _sample: &RawSample) -> Prediction {
+            Prediction {
+                cu: pfp_math::softmax::argmax(&self.cu_probs),
+                duration: pfp_math::softmax::argmax(&self.dur_probs),
+            }
+        }
+    }
+
+    impl GenerativePredictor for StubGen {
+        fn predict_distribution(&self, _sample: &RawSample) -> (Vec<f64>, Vec<f64>) {
+            (self.cu_probs.clone(), self.dur_probs.clone())
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::from_cohort(&generate_cohort(&CohortConfig::tiny(131)))
+    }
+
+    fn spread_stub(ds: &Dataset) -> StubGen {
+        StubGen {
+            cu_probs: vec![1.0 / ds.num_cus as f64; ds.num_cus],
+            dur_probs: vec![1.0 / ds.num_durations as f64; ds.num_durations],
+        }
+    }
+
+    fn small_config() -> ForecastConfig {
+        ForecastConfig {
+            rollouts: 8,
+            ..ForecastConfig::default()
+        }
+    }
+
+    #[test]
+    fn forecast_is_bitwise_reproducible_at_a_fixed_seed() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let cfg = ForecastConfig {
+            admissions: Some(AdmissionModel::for_cohort(ds.patients.len(), CENSUS_DAYS)),
+            ..small_config()
+        };
+        let a = forecast_census(&stub, &ds, &Scenario::baseline(), &cfg);
+        let b = forecast_census(&stub, &ds, &Scenario::baseline(), &cfg);
+        assert_eq!(a, b, "same seed must reproduce bitwise");
+        let c = forecast_census(
+            &stub,
+            &ds,
+            &Scenario::baseline(),
+            &ForecastConfig { seed: 43, ..cfg },
+        );
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn bands_are_ordered_and_extremes_bracket_the_mean() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        // Default (0.1, 0.9) band: ordered (an inner quantile band need not
+        // contain a skewed mean, so that is all it guarantees).
+        let f = forecast_census(&stub, &ds, &Scenario::baseline(), &small_config());
+        for cu in 0..ds.num_cus {
+            for day in 0..CENSUS_DAYS {
+                assert!(f.lo[cu][day] <= f.hi[cu][day], "bands must be ordered");
+            }
+        }
+        // (0.0, 1.0) band = min/max across rollouts: must bracket the mean.
+        let cfg = ForecastConfig {
+            band: (0.0, 1.0),
+            ..small_config()
+        };
+        let f = forecast_census(&stub, &ds, &Scenario::baseline(), &cfg);
+        for cu in 0..ds.num_cus {
+            for day in 0..CENSUS_DAYS {
+                assert!(
+                    f.lo[cu][day] <= f.mean[cu][day] && f.mean[cu][day] <= f.hi[cu][day],
+                    "mean outside [{}, {}] at cu {cu} day {day}: {}",
+                    f.lo[cu][day],
+                    f.hi[cu][day],
+                    f.mean[cu][day]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_unit_is_never_occupied() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let closed = 3;
+        let scenario = Scenario::named("close-3").with(Perturbation::UnitClosure { cu: closed });
+        let cfg = ForecastConfig {
+            admissions: Some(AdmissionModel::for_cohort(ds.patients.len(), CENSUS_DAYS)),
+            ..small_config()
+        };
+        let f = forecast_census(&stub, &ds, &scenario, &cfg);
+        assert!(
+            f.mean[closed].iter().all(|&v| v == 0.0),
+            "closed unit occupied: {:?}",
+            f.mean[closed]
+        );
+        assert!(f.hi[closed].iter().all(|&v| v == 0.0));
+        // The patients don't vanish — they are rerouted, not dropped.
+        assert!(f.total_patient_days() > 0.0);
+    }
+
+    #[test]
+    fn closure_with_all_mass_on_closed_units_does_not_resurrect_them() {
+        let ds = dataset();
+        // Every bit of destination mass sits on unit 0, which we close: the
+        // renormalisation fallback must spread over open units only.
+        let mut cu_probs = vec![0.0; ds.num_cus];
+        cu_probs[0] = 1.0;
+        let stub = StubGen {
+            cu_probs,
+            dur_probs: vec![1.0 / ds.num_durations as f64; ds.num_durations],
+        };
+        let scenario = Scenario::named("close-0").with(Perturbation::UnitClosure { cu: 0 });
+        let f = forecast_census(&stub, &ds, &scenario, &small_config());
+        assert!(f.mean[0].iter().all(|&v| v == 0.0));
+        assert!(f.total_patient_days() > 0.0);
+    }
+
+    #[test]
+    fn admission_surge_raises_total_occupancy() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let cfg = ForecastConfig {
+            admissions: Some(AdmissionModel::for_cohort(ds.patients.len(), CENSUS_DAYS)),
+            ..small_config()
+        };
+        let base = forecast_census(&stub, &ds, &Scenario::baseline(), &cfg);
+        let surge = Scenario::named("surge").with(Perturbation::AdmissionSurge { scale: 3.0 });
+        let surged = forecast_census(&stub, &ds, &surge, &cfg);
+        assert!(
+            surged.total_patient_days() > base.total_patient_days(),
+            "3x surge must add patient-days: {} vs {}",
+            surged.total_patient_days(),
+            base.total_patient_days()
+        );
+    }
+
+    #[test]
+    fn los_shift_extends_occupancy_in_the_shifted_unit() {
+        let ds = dataset();
+        // All patients stay in unit 2 forever with 1-day hops.
+        let mut cu_probs = vec![0.0; ds.num_cus];
+        cu_probs[2] = 1.0;
+        let mut dur_probs = vec![0.0; ds.num_durations];
+        dur_probs[0] = 1.0;
+        let stub = StubGen {
+            cu_probs,
+            dur_probs,
+        };
+        let base = forecast_census(&stub, &ds, &Scenario::baseline(), &small_config());
+        let shifted =
+            Scenario::named("slow-discharge").with(Perturbation::LosShift { cu: 2, factor: 4.0 });
+        let f = forecast_census(&stub, &ds, &shifted, &small_config());
+        let unit_days = |fc: &CensusForecast| fc.mean[2].iter().sum::<f64>();
+        // Patients admitted elsewhere still funnel into unit 2 either way;
+        // longer dwells cannot reduce its occupancy and, because admissions
+        // staggered across the week now stay past day 7, must increase the
+        // week's patient-days unless it was already saturated.
+        assert!(
+            unit_days(&f) >= unit_days(&base),
+            "4x LOS shift shrank unit-2 occupancy: {} vs {}",
+            unit_days(&f),
+            unit_days(&base)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "closes every care unit")]
+    fn closing_every_unit_is_rejected() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let mut scenario = Scenario::named("apocalypse");
+        for cu in 0..ds.num_cus {
+            scenario = scenario.with(Perturbation::UnitClosure { cu });
+        }
+        let _ = forecast_census(&stub, &ds, &scenario, &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "surge scale must be positive")]
+    fn non_positive_surge_is_rejected() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let scenario = Scenario::named("bad").with(Perturbation::AdmissionSurge { scale: 0.0 });
+        let _ = forecast_census(&stub, &ds, &scenario, &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "LOS factor must be positive")]
+    fn non_positive_los_factor_is_rejected() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let scenario = Scenario::named("bad").with(Perturbation::LosShift {
+            cu: 1,
+            factor: -1.0,
+        });
+        let _ = forecast_census(&stub, &ds, &scenario, &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_closure_is_rejected() {
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let scenario = Scenario::named("bad").with(Perturbation::UnitClosure { cu: 99 });
+        let _ = forecast_census(&stub, &ds, &scenario, &small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "admission stream truncated")]
+    fn truncated_admission_stream_is_a_loud_error() {
+        let model = AdmissionModel {
+            base_rate: 500.0,
+            max_admissions: 10,
+            ..AdmissionModel::default()
+        };
+        let mut rng = seeded_rng(9);
+        let _ = model.simulate_admissions(1.0, 7.0, &mut rng);
+    }
+
+    #[test]
+    fn admission_rate_tracks_the_surge_scale() {
+        let model = AdmissionModel {
+            base_rate: 3.0,
+            branching: 0.0,
+            ..AdmissionModel::default()
+        };
+        let mut rng = seeded_rng(10);
+        let horizon = 200.0;
+        let base = model.simulate_admissions(1.0, horizon, &mut rng).len() as f64 / horizon;
+        let surged = model.simulate_admissions(2.0, horizon, &mut rng).len() as f64 / horizon;
+        assert!((base - 3.0).abs() < 0.4, "base rate {base}");
+        assert!((surged - 6.0).abs() < 0.8, "surged rate {surged}");
+    }
+
+    #[test]
+    fn evaluate_scenarios_scores_baseline_against_actual() {
+        let ds = dataset();
+        let mc = MarkovPredictor::train(&ds);
+        let scenarios = vec![
+            Scenario::named("surge").with(Perturbation::AdmissionSurge { scale: 2.0 }),
+            Scenario::named("close-5").with(Perturbation::UnitClosure { cu: 5 }),
+        ];
+        let cfg = ForecastConfig {
+            admissions: Some(AdmissionModel::for_cohort(ds.patients.len(), CENSUS_DAYS)),
+            rollouts: 4,
+            ..ForecastConfig::default()
+        };
+        let report = evaluate_scenarios(&mc, &ds, &scenarios, &cfg);
+        assert_eq!(report.scenarios.len(), 2);
+        // Baseline errors recompute exactly from the published pieces.
+        let actual_f64: Vec<Vec<f64>> = report
+            .actual
+            .iter()
+            .map(|row| row.iter().map(|&v| v as f64).collect())
+            .collect();
+        let (per_cu, overall) = census_errors_f64(&actual_f64, &report.baseline.forecast.mean);
+        assert_eq!(per_cu, report.baseline.per_cu_error);
+        assert_eq!(overall, report.baseline.overall_error);
+        assert!(overall.is_finite() && overall >= 0.0);
+        // What-if divergences are measured against the baseline forecast.
+        for s in &report.scenarios {
+            let (_, div) = census_errors_f64(&report.baseline.forecast.mean, &s.forecast.mean);
+            assert_eq!(div, s.overall_error);
+        }
+        // The closure scenario must actually empty the unit it closes.
+        assert!(report.scenarios[1].forecast.mean[5]
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rollouts_cover_the_whole_horizon() {
+        // Closed-loop property: every replayed patient occupies exactly one
+        // unit on every day of the horizon (1-day hops, no discharge model),
+        // so per-day totals equal the cohort size in every rollout — which
+        // means they also do in the mean.
+        let ds = dataset();
+        let stub = spread_stub(&ds);
+        let f = forecast_census(&stub, &ds, &Scenario::baseline(), &small_config());
+        for day in 0..CENSUS_DAYS {
+            let total: f64 = (0..ds.num_cus).map(|cu| f.mean[cu][day]).sum();
+            assert!(
+                (total - ds.patients.len() as f64).abs() < 1e-9,
+                "day {day}: {total} vs {}",
+                ds.patients.len()
+            );
+        }
+    }
+}

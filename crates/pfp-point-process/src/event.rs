@@ -28,6 +28,7 @@ pub struct EventSequence {
     events: Vec<Event>,
     horizon: f64,
     num_marks: usize,
+    truncated: bool,
 }
 
 impl EventSequence {
@@ -65,12 +66,28 @@ impl EventSequence {
             events,
             horizon,
             num_marks,
+            truncated: false,
         }
     }
 
     /// Empty sequence over `(0, horizon]`.
     pub fn empty(horizon: f64, num_marks: usize) -> Self {
         Self::new(Vec::new(), horizon, num_marks)
+    }
+
+    /// Flag this sequence as truncated and return it.  A simulator that stops
+    /// at an event cap before reaching the horizon must call this so callers
+    /// can tell a complete draw from a quietly-short prefix of one.
+    pub fn mark_truncated(mut self) -> Self {
+        self.truncated = true;
+        self
+    }
+
+    /// True if the simulator hit its event cap before the horizon: the
+    /// sequence is a *prefix* of the true sample path, and any count derived
+    /// from it (census, mark frequencies, ...) understates the real process.
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Events in chronological order.
@@ -229,5 +246,15 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.mark_counts(), vec![0, 0, 0]);
         assert_eq!(s.count_at(5.0), 0);
+    }
+
+    #[test]
+    fn sequences_are_complete_unless_marked_truncated() {
+        let s = seq();
+        assert!(!s.truncated());
+        let t = s.clone().mark_truncated();
+        assert!(t.truncated());
+        assert_eq!(t.events(), s.events());
+        assert_ne!(t, s, "truncation must be visible to equality checks");
     }
 }

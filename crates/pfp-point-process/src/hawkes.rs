@@ -254,11 +254,16 @@ impl MultivariateHawkes {
 
     /// Simulate one sample path by thinning (used in tests and for
     /// parameter-recovery experiments).
+    ///
+    /// Supercritical parameterisations can explode; the path is capped at
+    /// 100,000 events and flagged [`EventSequence::truncated`] when the cap
+    /// fires before the horizon.
     pub fn simulate(&self, horizon: f64, rng: &mut impl Rng) -> EventSequence {
+        const MAX_EVENTS: usize = 100_000;
         let mut events = Vec::new();
         let mut t = 0.0_f64;
         let mut seq = EventSequence::empty(horizon, self.num_marks());
-        while t < horizon && events.len() < 100_000 {
+        while t < horizon && events.len() < MAX_EVENTS {
             let bound: f64 = self.intensities(t + 1e-9, &seq).iter().sum::<f64>() * 1.5 + 1e-9;
             let dt = -(rng.gen::<f64>().max(1e-300)).ln() / bound;
             // With the exponential kernel the intensity only decays between
@@ -275,7 +280,13 @@ impl MultivariateHawkes {
                 seq = EventSequence::new(events.clone(), horizon, self.num_marks());
             }
         }
-        EventSequence::new(events, horizon, self.num_marks())
+        let truncated = events.len() >= MAX_EVENTS && t < horizon;
+        let seq = EventSequence::new(events, horizon, self.num_marks());
+        if truncated {
+            seq.mark_truncated()
+        } else {
+            seq
+        }
     }
 }
 

@@ -42,6 +42,11 @@ impl Default for ThinningConfig {
 }
 
 /// Simulate one sample path of `intensity` on `(0, horizon]`.
+///
+/// If the path hits `config.max_events` before the horizon, the returned
+/// sequence is flagged [`EventSequence::truncated`] — callers that feed the
+/// path into census counts or likelihoods must check the flag, because a
+/// truncated path silently understates the process from the cap onwards.
 pub fn simulate(
     intensity: &ParametricIntensity,
     horizon: f64,
@@ -80,7 +85,13 @@ pub fn simulate(
         }
     }
 
-    EventSequence::new(events, horizon, intensity.num_marks())
+    let truncated = events.len() >= config.max_events && t < horizon;
+    let seq = EventSequence::new(events, horizon, intensity.num_marks());
+    if truncated {
+        seq.mark_truncated()
+    } else {
+        seq
+    }
 }
 
 /// Simulate a homogeneous multivariate Poisson process with the given rates —
@@ -191,6 +202,44 @@ mod tests {
         };
         let seq = simulate(&pi, 1000.0, &mut rng, &cfg);
         assert_eq!(seq.len(), 50);
+        assert!(
+            seq.truncated(),
+            "hitting the cap before the horizon must surface as truncation"
+        );
+    }
+
+    #[test]
+    fn explosive_hawkes_truncation_is_flagged_not_silent() {
+        // Supercritical Hawkes (branching ratio > 1): each event excites the
+        // intensity by more than it decays, so the path explodes and the cap
+        // is the only thing stopping the simulation.  Negative beta is
+        // excitation under the repo's sign convention.
+        let pi = ParametricIntensity::new(
+            KernelKind::Hawkes { decay: 1.0 },
+            vec![2.0],
+            Matrix::from_vec(1, 1, vec![-3.0]),
+        );
+        let mut rng = seeded_rng(18);
+        let cfg = ThinningConfig {
+            max_events: 200,
+            ..Default::default()
+        };
+        let seq = simulate(&pi, 1000.0, &mut rng, &cfg);
+        assert_eq!(seq.len(), 200, "explosive path must fill the cap");
+        assert!(seq.truncated(), "explosive path must be flagged truncated");
+        assert!(
+            seq.events().last().unwrap().time < seq.horizon(),
+            "truncated path stops short of the horizon"
+        );
+    }
+
+    #[test]
+    fn complete_paths_are_not_flagged_truncated() {
+        let pi =
+            ParametricIntensity::new(KernelKind::ModulatedPoisson, vec![0.5], Matrix::zeros(1, 1));
+        let mut rng = seeded_rng(19);
+        let seq = simulate(&pi, 20.0, &mut rng, &ThinningConfig::default());
+        assert!(!seq.truncated());
     }
 
     #[test]
